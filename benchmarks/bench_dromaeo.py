@@ -1,0 +1,28 @@
+"""Figure 4 regeneration: Dromaeo DOM suite overheads for Chrome/FireFox.
+
+Produces ``benchmarks/out/figure4_dromaeo.txt``: per-suite relative
+overheads plus the geometric mean (the paper reports ~213% Chrome,
+~146% FireFox relative runtime, i.e. +113%/+46% overhead).
+"""
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.eval.dromaeo import format_dromaeo, geometric_mean, run_dromaeo
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_dromaeo_full(benchmark, artifact_dir):
+    results = benchmark.pedantic(run_dromaeo, rounds=1, iterations=1)
+    text = format_dromaeo(results)
+    text += "\npaper Geom.Mean     : Chrome ~213%  FireFox ~146%"
+    save_artifact(artifact_dir, "figure4_dromaeo.txt", text)
+
+    chrome = geometric_mean(
+        [r.overhead_pct for r in results if r.browser == "Chrome"])
+    firefox = geometric_mean(
+        [r.overhead_pct for r in results if r.browser == "FireFox"])
+    # Shape: both browsers pay, Chrome pays substantially more.
+    assert chrome > 110.0
+    assert firefox > 100.0
+    assert chrome - 100.0 > 1.8 * (firefox - 100.0)

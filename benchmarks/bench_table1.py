@@ -1,0 +1,99 @@
+"""Table 1 regeneration: patching statistics for every binary/application.
+
+Run with::
+
+    pytest benchmarks/bench_table1.py --benchmark-only -s
+
+Produces ``benchmarks/out/table1.txt`` with measured-vs-paper rows, plus
+the paper's #Total/Avg aggregate line.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.eval.table1 import (
+    aggregate,
+    format_table,
+    run_table,
+    shape_agreement,
+)
+from repro.synth.profiles import (
+    ALL_PROFILES,
+    BROWSER_PROFILES,
+    SPEC_PROFILES,
+    SYSTEM_PROFILES,
+)
+
+
+def _render(rows) -> str:
+    lines = [format_table(rows)]
+    agg = aggregate([r for r in rows if r.app == "A1"])
+    lines.append("")
+    lines.append(
+        "A1 #Total/Avg: locs={locs} Base%={base_pct:.2f} T1%={t1_pct:.2f} "
+        "T2%={t2_pct:.2f} T3%={t3_pct:.2f} Succ%={succ_pct:.2f}".format(**agg)
+        + (f" Time%={agg['time_pct']:.2f}" if "time_pct" in agg else "")
+        + f" Size%={agg['size_pct']:.2f}"
+    )
+    lines.append("A1 paper     : locs=613619 Base%=72.79 T1%=13.95 T2%=3.73 "
+                 "T3%=9.48 Succ%=99.94 Time%=210.81 Size%=157.43")
+    agg2 = aggregate([r for r in rows if r.app == "A2"])
+    lines.append(
+        "A2 #Total/Avg: locs={locs} Base%={base_pct:.2f} T1%={t1_pct:.2f} "
+        "T2%={t2_pct:.2f} T3%={t3_pct:.2f} Succ%={succ_pct:.2f}".format(**agg2)
+        + (f" Time%={agg2['time_pct']:.2f}" if "time_pct" in agg2 else "")
+        + f" Size%={agg2['size_pct']:.2f}"
+    )
+    lines.append("A2 paper     : locs=636013 Base%=81.63 T1%=15.68 T2%=0.60 "
+                 "T3%=2.09 Succ%=99.99 Time%=164.71 Size%=130.90")
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_spec(benchmark, artifact_dir):
+    """SPEC2006 rows with VM Time% measurement."""
+    rows = benchmark.pedantic(
+        lambda: run_table(SPEC_PROFILES, time_for_categories=("spec",)),
+        rounds=1, iterations=1,
+    )
+    a1 = [r for r in rows if r.app == "A1"]
+    agreement = shape_agreement(a1)
+    text = _render(rows)
+    text += ("\n\nshape agreement (Spearman rank correlation vs paper, "
+             "A1 rows): "
+             + "  ".join(f"{k}={v:+.2f}" for k, v in agreement.items()))
+    save_artifact(artifact_dir, "table1_spec.txt", text)
+    # Shape assertions against the paper.
+    assert aggregate(a1)["succ_pct"] > 99.0
+    assert all(r.time_pct is None or r.time_pct > 100.0 for r in rows)
+    # The hard/easy ordering of binaries must correlate with the paper's.
+    assert agreement["base_pct"] > 0.3
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_system_binaries(benchmark, artifact_dir):
+    rows = benchmark.pedantic(
+        lambda: run_table(SYSTEM_PROFILES, time_for_categories=()),
+        rounds=1, iterations=1,
+    )
+    save_artifact(artifact_dir, "table1_system.txt", format_table(rows))
+    # PIE rows (inkscape, vim, evince) have the paper's near-perfect base.
+    pie = [r for r in rows if r.name in ("inkscape", "vim", "evince")]
+    assert all(r.base_pct > 93.0 for r in pie)
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_browsers(benchmark, artifact_dir):
+    """The scalability rows: Chrome, FireFox, libxul.so."""
+    rows = benchmark.pedantic(
+        lambda: run_table(BROWSER_PROFILES, time_for_categories=()),
+        rounds=1, iterations=1,
+    )
+    save_artifact(artifact_dir, "table1_browsers.txt", format_table(rows))
+    libxul = [r for r in rows if r.name == "libxul.so" and r.app == "A1"][0]
+    chrome = [r for r in rows if r.name == "Chrome" and r.app == "A1"][0]
+    # Shared object (positive offsets only) vs PIE executable.
+    assert libxul.base_pct < chrome.base_pct
+    assert libxul.succ_pct > 99.5

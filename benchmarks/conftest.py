@@ -1,0 +1,20 @@
+"""Benchmark fixtures: artifact directory for regenerated tables/figures."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    out = pathlib.Path(__file__).parent / "out"
+    out.mkdir(exist_ok=True)
+    return out
+
+
+def save_artifact(artifact_dir: pathlib.Path, name: str, text: str) -> None:
+    from repro.eval.report import write_artifact
+
+    write_artifact(artifact_dir, name, text)

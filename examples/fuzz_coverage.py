@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Coverage-guided-fuzzing instrumentation (the paper's intro cites
+full-speed coverage tracing as a binary-rewriting application).
+
+Gives every direct jump its own hit counter in an appended coverage-map
+segment — with no basic-block analysis, no CFG, no symbols — then runs
+the instrumented binary in the VM and prints a fuzzer's-eye view:
+covered/uncovered sites and the hottest branches.
+
+Run:  python3 examples/fuzz_coverage.py
+"""
+
+from repro.apps.coverage import CoverageInstrumenter
+from repro.synth.generator import SynthesisParams, synthesize
+from repro.vm.machine import run_elf
+
+
+def main() -> None:
+    binary = synthesize(SynthesisParams(
+        n_jump_sites=40, n_write_sites=20, seed=1337, loop_iters=4))
+    orig = run_elf(binary.data)
+    print(f"target binary: {len(binary.data)} bytes, "
+          f"{len(binary.jump_sites)} branch sites")
+
+    instrumented = CoverageInstrumenter(matcher="jumps").instrument(binary.data)
+    stats = instrumented.result.stats
+    print(f"instrumented : {stats}")
+    print(f"coverage map : {len(instrumented.slots)} slots at "
+          f"{instrumented.map_vaddr:#x}")
+
+    report = instrumented.run_with_coverage()
+    assert report.run.observable == orig.observable, "behaviour changed!"
+
+    print(f"\ncoverage     : {report.covered_sites}/{report.total_sites} "
+          f"sites ({report.coverage_pct:.1f}%)")
+    print("hottest branches:")
+    for addr, count in report.hottest(5):
+        print(f"  {addr:#x}: {count} hits")
+    uncovered = report.uncovered()
+    print(f"never executed ({len(uncovered)} sites — a fuzzer's targets):")
+    for addr in uncovered[:5]:
+        print(f"  {addr:#x}")
+
+
+if __name__ == "__main__":
+    main()

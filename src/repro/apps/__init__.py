@@ -1,0 +1,7 @@
+"""Built applications on top of the rewriter (the paper's Section 1 use
+cases): coverage instrumentation for fuzzing, heap hardening (in
+:mod:`repro.lowfat`), binary patching (see ``examples/patch_cve.py``)."""
+
+from repro.apps.coverage import CoverageInstrumenter, CoverageReport
+
+__all__ = ["CoverageInstrumenter", "CoverageReport"]

@@ -1,0 +1,142 @@
+"""A miniature coverage-guided fuzzer built on the rewriter.
+
+Closes the loop the paper's introduction motivates (binary-only
+coverage-guided tracing): the target binary is instrumented with the
+:mod:`repro.apps.coverage` per-site counters — no CFG, no source — and a
+mutation loop keeps inputs that light up new coverage.
+
+:func:`build_fuzz_target` produces the classic fuzzing benchmark shape:
+a binary that reads bytes from stdin and only reaches deeper code when
+successive "magic" bytes match, "crashing" (a distinctive exit code)
+at full depth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.apps.coverage import CoverageInstrumenter, CoverageReport
+from repro.elf import constants as elfc
+from repro.elf.builder import TinyProgram
+from repro.vm.machine import Machine
+from repro.x86 import encoder as enc
+
+CRASH_EXIT_CODE = 101
+
+
+def build_fuzz_target(magic: bytes = b"E9PATCH!", *, seed: int = 0) -> bytes:
+    """Build a stdin-driven target guarded by successive magic bytes.
+
+    Depth ``k`` is reached only when the first ``k`` input bytes equal
+    *magic*; each new depth emits a progress byte, and matching all of
+    them "crashes" (exit 101).
+    """
+    rng = random.Random(seed)
+    prog = TinyProgram()
+    prog.add_data("buf", bytes(16))
+    prog.add_data("mark", b"?")
+    a = prog.text
+
+    # read(0, buf, len(magic))
+    a.mov_imm32(enc.RDI, 0)
+    a.mov_label64(enc.RSI, "buf")
+    a.mov_imm32(enc.RDX, len(magic))
+    a.mov_imm32(enc.RAX, elfc.SYS_READ)
+    a.syscall()
+
+    a.mov_label64(enc.RBX, "buf")
+    for depth, byte in enumerate(magic):
+        # if buf[depth] != byte: exit(depth)
+        a.raw(bytes((0x80, 0x7B, depth, byte)))  # cmp byte [rbx+depth], byte
+        a.jcc(0x5, f"fail{depth}")  # jne
+        # progress marker: write one byte ('0'+depth) to stdout
+        a.mov_label64(enc.RSI, "mark")
+        value = 0x30 + depth + rng.randrange(0, 1)
+        a.raw(b"\xc6\x06" + bytes((value,)))  # mov byte [rsi], value
+        a.mov_imm32(enc.RDI, 1)
+        a.mov_imm32(enc.RDX, 1)
+        a.mov_imm32(enc.RAX, elfc.SYS_WRITE)
+        a.syscall()
+        a.mov_label64(enc.RBX, "buf")  # restore clobbered base
+    # Full match: the "crash".
+    a.mov_imm32(enc.RDI, CRASH_EXIT_CODE)
+    a.mov_imm32(enc.RAX, elfc.SYS_EXIT)
+    a.syscall()
+    for depth in range(len(magic)):
+        a.label(f"fail{depth}")
+        a.mov_imm32(enc.RDI, depth)
+        a.mov_imm32(enc.RAX, elfc.SYS_EXIT)
+        a.syscall()
+
+    a.labels["buf"] = prog.data_vaddr("buf") - a.base
+    a.labels["mark"] = prog.data_vaddr("mark") - a.base
+    return prog.build()
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of a fuzzing campaign."""
+
+    crashed: bool
+    crashing_input: bytes | None
+    executions: int
+    corpus: list[bytes]
+    coverage_history: list[int] = field(default_factory=list)
+
+    @property
+    def final_coverage(self) -> int:
+        return self.coverage_history[-1] if self.coverage_history else 0
+
+
+@dataclass
+class Fuzzer:
+    """Random byte-mutation fuzzer driven by the coverage map."""
+
+    target: bytes  # the *instrumented* binary is built internally
+    input_size: int = 8
+    seed: int = 1
+    max_instructions: int = 200_000
+
+    def __post_init__(self) -> None:
+        self.instrumented = CoverageInstrumenter(matcher="jumps").instrument(
+            self.target)
+        self.rng = random.Random(self.seed)
+
+    def _execute(self, data: bytes) -> CoverageReport:
+        machine = Machine(self.instrumented.data, stdin=data,
+                          max_instructions=self.max_instructions)
+        run = machine.run()
+        counts = {
+            site: machine.mem.read_u64(slot)
+            for site, slot in self.instrumented.slots.items()
+        }
+        return CoverageReport(run=run, counts=counts)
+
+    def _mutate(self, data: bytes) -> bytes:
+        out = bytearray(data)
+        pos = self.rng.randrange(len(out))  # single-byte mutations: less
+        out[pos] = self.rng.randrange(256)  # destructive of past progress
+        return bytes(out)
+
+    def run(self, budget: int = 2000) -> FuzzResult:
+        """Fuzz until the crash exit code appears or *budget* runs out."""
+        corpus: list[bytes] = [bytes(self.input_size)]
+        covered: set[int] = set()
+        history: list[int] = []
+        executions = 0
+
+        while executions < budget:
+            parent = self.rng.choice(corpus)
+            candidate = self._mutate(parent)
+            report = self._execute(candidate)
+            executions += 1
+            if report.run.exit_code == CRASH_EXIT_CODE:
+                history.append(len(covered))
+                return FuzzResult(True, candidate, executions, corpus, history)
+            new = {a for a, c in report.counts.items() if c} - covered
+            if new:
+                covered |= new
+                corpus.append(candidate)
+            history.append(len(covered))
+        return FuzzResult(False, None, executions, corpus, history)

@@ -1,0 +1,20 @@
+"""Core binary-rewriting engine: tactics, strategy, allocation, grouping.
+
+This is the reproduction of the paper's primary contribution.  The public
+entry point is :class:`repro.core.rewriter.Rewriter`; the individual
+pieces (pun math, tactics B1/B2/T1/T2/T3, reverse-order strategy S1,
+physical page grouping) live in their own modules and are unit-testable
+in isolation.
+"""
+
+from repro.core.rewriter import Rewriter, RewriteOptions, RewriteResult
+from repro.core.tactics import Tactic
+from repro.core.stats import PatchStats
+
+__all__ = [
+    "Rewriter",
+    "RewriteOptions",
+    "RewriteResult",
+    "Tactic",
+    "PatchStats",
+]

@@ -1,0 +1,149 @@
+"""Virtual address-space allocator for trampolines.
+
+Models the patched program's virtual address space: existing PT_LOAD
+segments (and the NULL guard region) are reserved; trampolines are
+allocated first-fit inside pun-constrained windows.  For PIE binaries the
+usable space extends to *negative* link-time offsets — at runtime the
+image is loaded high, so the whole ±2 GiB window around the code is
+valid, which is the paper's explanation for the much higher PIE baseline
+coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.intervals import IntervalSet
+
+# Linux vm.mmap_min_addr default: the NULL guard.
+MMAP_MIN_ADDR = 0x10000
+# Upper end of the canonical user address space (47-bit, minus stack slack).
+USER_SPACE_TOP = 0x7FFF_F000_0000
+
+
+@dataclass
+class Allocation:
+    """One allocated trampoline extent."""
+
+    vaddr: int
+    size: int
+    tag: str = ""
+
+    @property
+    def end(self) -> int:
+        return self.vaddr + self.size
+
+
+@dataclass
+class AddressSpace:
+    """Free-space tracker with windowed first-fit allocation.
+
+    ``lo_bound``/``hi_bound`` delimit addresses trampolines may occupy;
+    reserved ranges (the binary's own segments, guard pages) are carved
+    out at construction time.
+
+    ``pack_pages`` makes allocation prefer pages that already hold
+    trampolines.  It is **off by default on purpose**: packing barely
+    reduces the virtual page count (constrained windows scatter anyway)
+    while making pages dense — and dense pages cannot merge under
+    physical page grouping, so the *physical* footprint grows.  The
+    ablation benchmark quantifies this; it is the paper's design insight
+    in miniature: exploit fragmentation at mapping time instead of
+    fighting it at allocation time.
+    """
+
+    lo_bound: int = MMAP_MIN_ADDR
+    hi_bound: int = USER_SPACE_TOP
+    free: IntervalSet = field(default_factory=IntervalSet)
+    allocations: list[Allocation] = field(default_factory=list)
+    pack_pages: bool = False
+    _used_pages: IntervalSet = field(default_factory=IntervalSet)
+
+    PAGE = 4096
+
+    def __post_init__(self) -> None:
+        if not self.free:
+            self.free.add(self.lo_bound, self.hi_bound)
+
+    @classmethod
+    def for_binary(
+        cls,
+        segments: list[tuple[int, int]],
+        *,
+        pie: bool = False,
+        shared: bool = False,
+        image_base: int = 0,
+        guard: int = 4096,
+    ) -> "AddressSpace":
+        """Build the address space for a binary with the given PT_LOAD
+        ``(vaddr, memsz)`` extents.
+
+        For PIE *executables*, link-time addresses start near zero but
+        load at a high runtime base, so negative link-time offsets are
+        usable (reached through the rewriter's loader); the bounds are
+        widened to the full signed rel32 reach around the image.  Shared
+        objects are position-independent too, but the paper found
+        negative offsets "generally incompatible with the dynamic linker"
+        (other libraries get loaded there), so they are restricted to
+        positive offsets like non-PIE code.
+        """
+        if pie and not shared:
+            space = cls(lo_bound=-(1 << 31) + (1 << 20), hi_bound=(1 << 31))
+        elif shared:
+            space = cls(lo_bound=4096, hi_bound=(1 << 31))
+        else:
+            space = cls()
+        for vaddr, memsz in segments:
+            space.reserve(vaddr - guard, vaddr + memsz + guard)
+        return space
+
+    def reserve(self, lo: int, hi: int) -> None:
+        """Mark ``[lo, hi)`` permanently unusable."""
+        self.free.remove(lo, hi)
+
+    def allocate(self, window_lo: int, window_hi: int, size: int,
+                 tag: str = "", align: int = 1) -> int | None:
+        """Allocate *size* bytes with the start address inside the window.
+
+        Returns the start vaddr, or None if the window has no free slot.
+        The extent may run past ``window_hi`` (only the jump *target* is
+        constrained); it must simply be free space.
+        """
+        lo = max(window_lo, self.lo_bound)
+        hi = min(window_hi, self.hi_bound)
+        t = None
+        if self.pack_pages and align == 1:
+            page = self.PAGE
+            for plo, phi in self._used_pages.spans_overlapping(
+                    lo - page, hi + page, limit=8):
+                t = self.free.find_gap(max(lo, plo), min(hi, phi), size)
+                if t is not None:
+                    break
+        if t is None:
+            t = self.free.find_gap(lo, hi, size, align=align)
+        if t is None:
+            return None
+        self.free.remove(t, t + size)
+        self.allocations.append(Allocation(vaddr=t, size=size, tag=tag))
+        page = self.PAGE
+        self._used_pages.add(t - t % page, t + size + (-(t + size)) % page)
+        return t
+
+    def release(self, vaddr: int, size: int) -> None:
+        """Return an extent to the free pool (tactic rollback).
+
+        The page-occupancy hint is left as-is: stale hints only bias
+        future placements and cost nothing if the page stays empty.
+        """
+        self.free.add(vaddr, vaddr + size)
+        for i in range(len(self.allocations) - 1, -1, -1):
+            a = self.allocations[i]
+            if a.vaddr == vaddr and a.size == size:
+                del self.allocations[i]
+                return
+
+    def is_free(self, lo: int, hi: int) -> bool:
+        return self.free.contains(lo, hi)
+
+    def used_bytes(self) -> int:
+        return sum(a.size for a in self.allocations)

@@ -1,0 +1,100 @@
+"""Byte lock state for reverse-order patching (paper Section 3.4).
+
+Every byte of the rewritable code region is in one of three states:
+
+* ``UNLOCKED`` — may be modified or relied upon by future patches;
+* ``MODIFIED`` — overwritten by a previous patch; immutable;
+* ``PUNNED`` — retains its original value but is read as part of a punned
+  jump's rel32; immutable (its *value* is load-bearing).
+
+Writing requires ``UNLOCKED``.  Punning (treating a byte as a fixed rel32
+cell) is allowed in any state — a MODIFIED or PUNNED byte can never change
+again, so relying on its current value is always safe — and promotes
+UNLOCKED bytes to PUNNED.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LockViolation
+
+UNLOCKED = 0
+MODIFIED = 1
+PUNNED = 2
+
+_NAMES = {UNLOCKED: "unlocked", MODIFIED: "modified", PUNNED: "punned"}
+
+
+class LockMap:
+    """Per-byte lock states over one contiguous code range."""
+
+    def __init__(self, base: int, size: int) -> None:
+        self.base = base
+        self.size = size
+        self._state = bytearray(size)
+
+    def _index(self, vaddr: int) -> int:
+        idx = vaddr - self.base
+        if not 0 <= idx < self.size:
+            raise LockViolation(f"address {vaddr:#x} outside lock map")
+        return idx
+
+    def state(self, vaddr: int) -> int:
+        return self._state[self._index(vaddr)]
+
+    def state_name(self, vaddr: int) -> str:
+        return _NAMES[self.state(vaddr)]
+
+    def in_range(self, vaddr: int, length: int = 1) -> bool:
+        return (
+            self.base <= vaddr
+            and vaddr + length <= self.base + self.size
+        )
+
+    def is_writable(self, vaddr: int, length: int = 1) -> bool:
+        """True if every byte of ``[vaddr, vaddr+length)`` is UNLOCKED."""
+        if not self.in_range(vaddr, length):
+            return False
+        i = vaddr - self.base
+        return all(s == UNLOCKED for s in self._state[i : i + length])
+
+    def lock_modified(self, vaddr: int, length: int = 1) -> None:
+        """Mark bytes as overwritten; they must currently be UNLOCKED."""
+        i = self._index(vaddr)
+        if length:
+            self._index(vaddr + length - 1)
+        for k in range(i, i + length):
+            if self._state[k] != UNLOCKED:
+                raise LockViolation(
+                    f"byte {self.base + k:#x} already {_NAMES[self._state[k]]}"
+                )
+            self._state[k] = MODIFIED
+    def lock_punned(self, vaddr: int, length: int = 1) -> None:
+        """Mark bytes as relied-upon (fixed rel32 cells).
+
+        UNLOCKED bytes become PUNNED; MODIFIED/PUNNED bytes are left as-is
+        (their values are already immutable).
+        """
+        if length <= 0:
+            return
+        i = self._index(vaddr)
+        self._index(vaddr + length - 1)
+        for k in range(i, i + length):
+            if self._state[k] == UNLOCKED:
+                self._state[k] = PUNNED
+
+    def counts(self) -> dict[str, int]:
+        """Summary {state name: #bytes} for reporting."""
+        out = {name: 0 for name in _NAMES.values()}
+        for s in self._state:
+            out[_NAMES[s]] += 1
+        return out
+
+    def snapshot(self, vaddr: int, length: int) -> bytes:
+        """Raw state bytes for ``[vaddr, vaddr+length)`` (for rollback)."""
+        i = self._index(vaddr)
+        return bytes(self._state[i : i + length])
+
+    def restore(self, vaddr: int, states: bytes) -> None:
+        """Restore a snapshot taken with :meth:`snapshot`."""
+        i = self._index(vaddr)
+        self._state[i : i + len(states)] = states

@@ -1,0 +1,179 @@
+"""Instruction-punning arithmetic (paper Sections 2.1.3 and 3.1).
+
+A relative near jump written at address ``j`` with ``p`` bytes of prefix
+padding occupies ``[j, j+p+5)``: the padding, the 0xE9 opcode at ``j+p``,
+and rel32 at ``[j+p+1, j+p+5)``.  Bytes inside the *writable window*
+``[j, writable_end)`` may be chosen freely; rel32 bytes at or past
+``writable_end`` are **fixed** to whatever currently occupies them (they
+belong to successor instructions and become PUNNED).
+
+Because the writable window is a contiguous range starting at ``j``, the
+free rel32 bytes are always a low-order (little-endian) prefix, so every
+``(j, p)`` attempt yields exactly **one contiguous window** of candidate
+jump targets ``[target_base, target_base + 256**free)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.binary import CodeImage
+
+JMP_OPCODE = 0xE9
+SHORT_JMP_OPCODE = 0xEB
+MAX_JUMP_LEN = 15  # architectural instruction-length limit
+
+
+def _signext32(value: int) -> int:
+    return (value ^ 0x80000000) - 0x80000000
+
+
+@dataclass(frozen=True)
+class PunWindow:
+    """One candidate punned-jump placement.
+
+    Attributes:
+        jump_addr: address of the first written byte (padding or opcode).
+        padding: number of redundant prefix bytes before 0xE9.
+        free: number of freely choosable low-order rel32 bytes (0..4).
+        target_lo/target_hi: the half-open window of reachable targets.
+        written_len: bytes that will be overwritten ([jump_addr, +written_len)).
+        punned_len: fixed rel32 bytes past the writable window that must be
+            locked PUNNED ([jump_addr+written_len, +punned_len)).
+    """
+
+    jump_addr: int
+    padding: int
+    free: int
+    target_lo: int
+    target_hi: int
+    written_len: int
+    punned_len: int
+
+    @property
+    def jump_end(self) -> int:
+        """Address the rel32 is relative to (end of the jump instruction)."""
+        return self.jump_addr + self.padding + 5
+
+    def rel32_for(self, target: int) -> int:
+        rel = target - self.jump_end
+        if not -(1 << 31) <= rel < (1 << 31):
+            raise ValueError(f"target {target:#x} out of rel32 range")
+        return rel
+
+    def encode(self, target: int) -> bytes:
+        """The *written* bytes (padding + opcode + free rel32 bytes) for
+        a jump to *target*; fixed rel32 bytes are not written."""
+        from repro.x86.prefixes import jump_padding
+
+        rel = self.rel32_for(target) & 0xFFFFFFFF
+        full = (
+            jump_padding(self.padding)
+            + bytes((JMP_OPCODE,))
+            + rel.to_bytes(4, "little")
+        )
+        return full[: self.written_len]
+
+
+def pun_windows(
+    image: CodeImage,
+    jump_addr: int,
+    writable_end: int,
+    *,
+    min_padding: int = 0,
+    max_padding: int | None = None,
+) -> list[PunWindow]:
+    """Enumerate all pun placements for a jump at *jump_addr*.
+
+    *writable_end* bounds the bytes this jump may overwrite (typically the
+    end of the instruction being replaced).  All bytes of
+    ``[jump_addr, writable_end)`` must currently be unlocked; fixed rel32
+    bytes past *writable_end* must be readable in the image.
+
+    Returns windows ordered least-constrained first (smallest padding).
+    """
+    windows: list[PunWindow] = []
+    room = writable_end - jump_addr
+    if room <= 0:
+        return windows
+    if max_padding is None:
+        max_padding = room - 1
+    max_padding = min(max_padding, room - 1, MAX_JUMP_LEN - 5)
+
+    if not image.is_writable(jump_addr, room):
+        return windows
+
+    for p in range(min_padding, max_padding + 1):
+        rel_pos = jump_addr + p + 1
+        jump_end = rel_pos + 4
+        free = max(0, min(4, writable_end - rel_pos))
+        n_fixed = 4 - free
+        written_len = p + 1 + free
+        if n_fixed:
+            if not image.readable(rel_pos + free, n_fixed):
+                continue  # fixed bytes fall outside the mapped image
+            fixed = image.read(rel_pos + free, n_fixed)
+            high = int.from_bytes(fixed, "little") << (8 * free)
+            base = _signext32(high)
+            lo = jump_end + base
+            hi = lo + (1 << (8 * free))
+        else:
+            lo = jump_end - (1 << 31)
+            hi = jump_end + (1 << 31)
+        windows.append(
+            PunWindow(
+                jump_addr=jump_addr,
+                padding=p,
+                free=free,
+                target_lo=lo,
+                target_hi=hi,
+                written_len=written_len,
+                punned_len=n_fixed,
+            )
+        )
+    return windows
+
+
+@dataclass(frozen=True)
+class ShortJumpSpec:
+    """A (possibly punned) two-byte short jump at a patch site.
+
+    For single-byte patch instructions the rel8 byte is *fixed* to the
+    successor's first byte, leaving exactly one reachable target
+    (limitation L2 of the paper).
+    """
+
+    site: int
+    rel8_free: bool
+    targets: tuple[int, ...]  # candidate JPatch locations, best-first
+
+    @property
+    def written_len(self) -> int:
+        return 2 if self.rel8_free else 1
+
+    def encode(self, target: int) -> bytes:
+        rel = target - (self.site + 2)
+        if not 0 <= rel <= 127:
+            raise ValueError("short jump target out of forward rel8 range")
+        full = bytes((SHORT_JMP_OPCODE, rel))
+        return full[: self.written_len]
+
+
+def short_jump_spec(image: CodeImage, site: int, ilen: int) -> ShortJumpSpec | None:
+    """Candidate targets for tactic T3's ``JShort`` at *site*.
+
+    Per the paper's lock discipline, only forward (positive rel8) targets
+    are considered.
+    """
+    if not image.is_writable(site, min(2, ilen)):
+        return None
+    if ilen >= 2:
+        targets = tuple(site + 2 + rel for rel in range(0, 128))
+        return ShortJumpSpec(site=site, rel8_free=True, targets=targets)
+    # Single-byte instruction: rel8 is the successor's first byte (punned).
+    if not image.readable(site + 1, 1):
+        return None
+    rel = image.read(site + 1, 1)[0]
+    if rel > 127:
+        return None  # negative rel8: disallowed by the lock discipline
+    return ShortJumpSpec(site=site, rel8_free=False, targets=(site + 2 + rel,))

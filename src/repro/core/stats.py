@@ -1,0 +1,82 @@
+"""Patching statistics in the shape of the paper's Table 1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.tactics import Tactic
+
+
+@dataclass
+class PatchStats:
+    """Per-run coverage accounting.
+
+    ``base`` combines B1+B2 as in the paper's ``Base%`` column.
+    """
+
+    total: int = 0
+    by_tactic: dict[Tactic, int] = field(default_factory=dict)
+    failed: int = 0
+    trampoline_bytes: int = 0
+    trampoline_count: int = 0
+
+    def record(self, tactic: Tactic | None) -> None:
+        self.total += 1
+        if tactic is None:
+            self.failed += 1
+        else:
+            self.by_tactic[tactic] = self.by_tactic.get(tactic, 0) + 1
+
+    @property
+    def succeeded(self) -> int:
+        return self.total - self.failed
+
+    def count(self, *tactics: Tactic) -> int:
+        return sum(self.by_tactic.get(t, 0) for t in tactics)
+
+    def _pct(self, n: int) -> float:
+        return 100.0 * n / self.total if self.total else 0.0
+
+    @property
+    def base_pct(self) -> float:
+        """B1+B2 as a percentage of all sites (paper's Base%)."""
+        return self._pct(self.count(Tactic.B1, Tactic.B2))
+
+    @property
+    def t1_pct(self) -> float:
+        return self._pct(self.count(Tactic.T1))
+
+    @property
+    def t2_pct(self) -> float:
+        return self._pct(self.count(Tactic.T2))
+
+    @property
+    def t3_pct(self) -> float:
+        return self._pct(self.count(Tactic.T3))
+
+    @property
+    def b0_pct(self) -> float:
+        return self._pct(self.count(Tactic.B0))
+
+    @property
+    def success_pct(self) -> float:
+        """Overall coverage (paper's Succ%)."""
+        return self._pct(self.succeeded)
+
+    def row(self) -> dict[str, float | int]:
+        """Table-1-shaped summary."""
+        return {
+            "locs": self.total,
+            "base_pct": round(self.base_pct, 2),
+            "t1_pct": round(self.t1_pct, 2),
+            "t2_pct": round(self.t2_pct, 2),
+            "t3_pct": round(self.t3_pct, 2),
+            "succ_pct": round(self.success_pct, 2),
+        }
+
+    def __str__(self) -> str:
+        r = self.row()
+        return (
+            f"#Loc={r['locs']} Base%={r['base_pct']:.2f} T1%={r['t1_pct']:.2f} "
+            f"T2%={r['t2_pct']:.2f} T3%={r['t3_pct']:.2f} Succ%={r['succ_pct']:.2f}"
+        )

@@ -1,0 +1,376 @@
+"""Patching tactics B0/B1/B2/T1/T2/T3 (paper Sections 2.1 and 3).
+
+Each tactic attempts to redirect one patch-site instruction to its
+trampoline without moving any other instruction and while preserving the
+set of jump targets.  Tactics that perform multi-step searches (T2/T3)
+run inside a :class:`Transaction` so failed attempts roll back cleanly.
+"""
+
+from __future__ import annotations
+
+import enum
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from repro.errors import PatchError
+from repro.core.allocator import AddressSpace
+from repro.core.binary import CodeImage
+from repro.core.puns import PunWindow, pun_windows, short_jump_spec
+from repro.core.trampoline import (
+    Empty,
+    Instrumentation,
+    Trampoline,
+    build_trampoline,
+    trampoline_size,
+)
+from repro.x86.insn import Instruction
+
+
+class Tactic(enum.Enum):
+    """Which methodology successfully patched a site."""
+
+    B0 = "B0"  # int3 + trap handler
+    B1 = "B1"  # direct jump replacement (length >= 5)
+    B2 = "B2"  # punned jump, no padding
+    T1 = "T1"  # padded punned jump
+    T2 = "T2"  # successor eviction
+    T3 = "T3"  # neighbour eviction (double jump)
+
+    @property
+    def is_baseline(self) -> bool:
+        return self in (Tactic.B1, Tactic.B2)
+
+
+@dataclass
+class SitePatch:
+    """Successful patch record for one site."""
+
+    site: int
+    tactic: Tactic
+    trampolines: list[Trampoline] = field(default_factory=list)
+
+
+class Transaction:
+    """Undo log over the code image and address space."""
+
+    def __init__(self, image: CodeImage, space: AddressSpace) -> None:
+        self.image = image
+        self.space = space
+        self._writes: list[tuple[int, bytes, bytes]] = []  # vaddr, old, lockstates
+        self._puns: list[tuple[int, bytes]] = []  # vaddr, lockstates
+        self._allocs: list[tuple[int, int]] = []
+        self._dirty_mark = len(image.dirty)
+        self.trampolines: list[Trampoline] = []
+
+    def write(self, vaddr: int, data: bytes) -> None:
+        old = self.image.read(vaddr, len(data))
+        locks = self.image.locks_for(vaddr).snapshot(vaddr, len(data))
+        self.image.write(vaddr, data)
+        self._writes.append((vaddr, old, locks))
+
+    def pun(self, vaddr: int, length: int) -> None:
+        if length <= 0:
+            return
+        locks = self.image.locks_for(vaddr).snapshot(vaddr, length)
+        self.image.pun(vaddr, length)
+        self._puns.append((vaddr, locks))
+
+    def allocate(self, lo: int, hi: int, size: int, tag: str) -> int | None:
+        t = self.space.allocate(lo, hi, size, tag)
+        if t is not None:
+            self._allocs.append((t, size))
+        return t
+
+    def release_last(self) -> None:
+        """Undo the most recent allocation (failed trampoline encoding)."""
+        vaddr, size = self._allocs.pop()
+        self.space.release(vaddr, size)
+
+    def add_trampoline(self, tramp: Trampoline) -> None:
+        self.trampolines.append(tramp)
+
+    def abort(self) -> None:
+        for vaddr, locks in reversed(self._puns):
+            self.image.locks_for(vaddr).restore(vaddr, locks)
+        for vaddr, old, locks in reversed(self._writes):
+            self.image.write_unchecked(vaddr, old)
+            self.image.locks_for(vaddr).restore(vaddr, locks)
+        for vaddr, size in reversed(self._allocs):
+            self.space.release(vaddr, size)
+        del self.image.dirty[self._dirty_mark :]
+        self._writes.clear()
+        self._puns.clear()
+        self._allocs.clear()
+        self.trampolines.clear()
+
+
+@dataclass
+class TacticContext:
+    """Everything a tactic needs: image, allocator, instruction index."""
+
+    image: CodeImage
+    space: AddressSpace
+    instructions: list[Instruction]  # sorted by address (linear stream)
+    max_eviction_probes: int = 1
+    _addrs: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._addrs = [i.address for i in self.instructions]
+
+    def insn_at(self, addr: int) -> Instruction | None:
+        """Instruction starting exactly at *addr*."""
+        i = bisect_right(self._addrs, addr) - 1
+        if i >= 0 and self._addrs[i] == addr:
+            return self.instructions[i]
+        return None
+
+    def insn_containing(self, addr: int) -> Instruction | None:
+        """Instruction whose byte range covers *addr*."""
+        i = bisect_right(self._addrs, addr) - 1
+        if i >= 0:
+            insn = self.instructions[i]
+            if insn.address <= addr < insn.end:
+                return insn
+        return None
+
+
+def _emit_jump(
+    tx: Transaction,
+    window: PunWindow,
+    target: int,
+) -> None:
+    """Write a punned jump through *window* to *target* and set locks."""
+    tx.write(window.jump_addr, window.encode(target))
+    if window.punned_len:
+        tx.pun(window.jump_addr + window.written_len, window.punned_len)
+
+
+def _try_jump_to_new_trampoline(
+    ctx: TacticContext,
+    tx: Transaction,
+    jump_addr: int,
+    writable_end: int,
+    tramp_insn: Instruction,
+    instr: Instrumentation,
+    tag: str,
+    *,
+    min_padding: int = 0,
+) -> PunWindow | None:
+    """Try every pun window at *jump_addr*; on success the jump is written
+    and the trampoline (for *tramp_insn* with *instr*) is allocated and
+    encoded.  Returns the window used, or None."""
+    size = trampoline_size(tramp_insn, instr)
+    for window in pun_windows(
+        ctx.image, jump_addr, writable_end, min_padding=min_padding
+    ):
+        t = tx.allocate(window.target_lo, window.target_hi, size, tag)
+        if t is None:
+            continue
+        try:
+            code = build_trampoline(tramp_insn, instr, t)
+        except PatchError:
+            tx.release_last()
+            continue
+        _emit_jump(tx, window, t)
+        tx.add_trampoline(Trampoline(vaddr=t, code=code, tag=tag))
+        return window
+    return None
+
+
+# ---------------------------------------------------------------------------
+# B1 / B2 / T1: (padded) punned jump at the patch site itself.
+# ---------------------------------------------------------------------------
+
+def try_direct(
+    ctx: TacticContext,
+    insn: Instruction,
+    instr: Instrumentation,
+    *,
+    allow_padding: bool = True,
+) -> SitePatch | None:
+    """Tactics B1 (len>=5), B2 (no padding) and T1 (padded) unified.
+
+    Windows are tried least-constrained first; the tactic label is derived
+    from the winning window (free==4 -> B1, padding==0 -> B2, else T1).
+    """
+    tx = Transaction(ctx.image, ctx.space)
+    size = trampoline_size(insn, instr)
+    max_padding = None if allow_padding else 0
+    for window in pun_windows(
+        ctx.image, insn.address, insn.end, max_padding=max_padding
+    ):
+        t = tx.allocate(window.target_lo, window.target_hi, size, f"patch@{insn.address:#x}")
+        if t is None:
+            continue
+        try:
+            code = build_trampoline(insn, instr, t)
+        except PatchError:
+            tx.release_last()
+            continue
+        _emit_jump(tx, window, t)
+        tx.add_trampoline(Trampoline(vaddr=t, code=code, tag="patch"))
+        if window.free == 4:
+            tactic = Tactic.B1
+        elif window.padding == 0:
+            tactic = Tactic.B2
+        else:
+            tactic = Tactic.T1
+        return SitePatch(site=insn.address, tactic=tactic, trampolines=list(tx.trampolines))
+    tx.abort()
+    return None
+
+
+# ---------------------------------------------------------------------------
+# T2: successor eviction.
+# ---------------------------------------------------------------------------
+
+def try_successor_eviction(
+    ctx: TacticContext,
+    insn: Instruction,
+    instr: Instrumentation,
+) -> SitePatch | None:
+    """Evict the successor instruction, then re-attempt punning at the site
+    against the successor's new (jump) bytes."""
+    succ = ctx.insn_at(insn.end)
+    if succ is None:
+        return None
+    if not ctx.image.is_writable(succ.address, succ.length):
+        return None  # successor already patched/locked
+
+    evictee_size = trampoline_size(succ, Empty())
+    for s_window in pun_windows(ctx.image, succ.address, succ.end):
+        # Probe several trampoline placements inside the window: each
+        # placement changes the successor's new byte values, which changes
+        # the site's own pun window.
+        probe_lo = s_window.target_lo
+        for _ in range(ctx.max_eviction_probes):
+            tx = Transaction(ctx.image, ctx.space)
+            t_evict = tx.allocate(
+                probe_lo, s_window.target_hi, evictee_size, f"evictee@{succ.address:#x}"
+            )
+            if t_evict is None:
+                tx.abort()
+                break
+            try:
+                evict_code = build_trampoline(succ, Empty(), t_evict)
+            except PatchError:
+                tx.abort()
+                break
+            _emit_jump(tx, s_window, t_evict)
+            tx.add_trampoline(
+                Trampoline(vaddr=t_evict, code=evict_code, tag="evictee")
+            )
+            window = _try_jump_to_new_trampoline(
+                ctx, tx, insn.address, insn.end, insn, instr,
+                f"patch@{insn.address:#x}",
+            )
+            if window is not None:
+                return SitePatch(
+                    site=insn.address, tactic=Tactic.T2, trampolines=list(tx.trampolines)
+                )
+            tx.abort()
+            # Shift the probe window so the next evictee lands with a
+            # different low rel32 byte (and hence different fixed bytes
+            # for the site's pun).
+            probe_lo = t_evict + 256 - (t_evict % 256)
+            if probe_lo >= s_window.target_hi:
+                break
+    return None
+
+
+# ---------------------------------------------------------------------------
+# T3: neighbour eviction (double jump).
+# ---------------------------------------------------------------------------
+
+def try_neighbour_eviction(
+    ctx: TacticContext,
+    insn: Instruction,
+    instr: Instrumentation,
+    *,
+    max_victims: int = 128,
+) -> SitePatch | None:
+    """Short-jump to a punned ``J_patch`` carved out of an evicted victim.
+
+    The patch site gets a 2-byte short jump to location ``L`` (forward
+    only); ``L`` must fall strictly inside a fully unlocked victim
+    instruction V (or inside the patch instruction's own leftover bytes).
+    V's head is replaced by a punned ``J_victim`` to V's evictee
+    trampoline, preserving V's semantics for any jump that targets it.
+    """
+    spec = short_jump_spec(ctx.image, insn.address, insn.length)
+    if spec is None:
+        return None
+
+    tried = 0
+    for L in spec.targets:
+        if tried >= max_victims:
+            break
+        # Case 1: L inside the patch instruction's own leftover bytes.
+        if insn.address + 2 <= L < insn.end:
+            tried += 1
+            tx = Transaction(ctx.image, ctx.space)
+            # Reserve the short-jump bytes first so J_patch's pun cannot
+            # claim them.
+            tx.write(insn.address, spec.encode(L))
+            window = _try_jump_to_new_trampoline(
+                ctx, tx, L, insn.end, insn, instr, f"patch@{insn.address:#x}"
+            )
+            if window is not None:
+                return SitePatch(
+                    site=insn.address, tactic=Tactic.T3, trampolines=list(tx.trampolines)
+                )
+            tx.abort()
+            continue
+
+        # Case 2: L strictly inside a later victim instruction.
+        victim = ctx.insn_containing(L)
+        if victim is None or victim.address >= L:
+            continue
+        if victim.address < insn.end:
+            continue  # victim must lie entirely after the patch site
+        if not ctx.image.is_writable(victim.address, victim.length):
+            continue
+        tried += 1
+
+        tx = Transaction(ctx.image, ctx.space)
+        # J_patch: punned jump at L (inside the victim) to the patch
+        # trampoline.
+        window = _try_jump_to_new_trampoline(
+            ctx, tx, L, victim.end, insn, instr, f"patch@{insn.address:#x}"
+        )
+        if window is None:
+            tx.abort()
+            continue
+        # J_victim: punned jump at the victim's head to its evictee
+        # trampoline; its writable window ends at L (J_patch's bytes are
+        # now locked and serve as fixed rel32 cells).
+        v_window = _try_jump_to_new_trampoline(
+            ctx, tx, victim.address, L, victim, Empty(),
+            f"evictee@{victim.address:#x}",
+        )
+        if v_window is None:
+            tx.abort()
+            continue
+        # J_short at the patch site.
+        tx.write(insn.address, spec.encode(L))
+        if not spec.rel8_free:
+            tx.pun(insn.address + 1, 1)
+        return SitePatch(
+            site=insn.address, tactic=Tactic.T3, trampolines=list(tx.trampolines)
+        )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# B0: int3 fallback.
+# ---------------------------------------------------------------------------
+
+def apply_int3(ctx: TacticContext, insn: Instruction) -> SitePatch | None:
+    """Replace the first byte with int3; a trap handler implements the
+    patch (orders of magnitude slower — used only as an explicit
+    fallback)."""
+    if not ctx.image.is_writable(insn.address, 1):
+        return None
+    tx = Transaction(ctx.image, ctx.space)
+    tx.write(insn.address, b"\xcc")
+    return SitePatch(site=insn.address, tactic=Tactic.B0)

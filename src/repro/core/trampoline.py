@@ -1,0 +1,225 @@
+"""Trampoline templates and displaced-instruction relocation.
+
+Every successful patch diverts control to a trampoline that (1) runs the
+instrumentation body, (2) executes a *relocated* copy of the displaced
+instruction, and (3) jumps back to the next original instruction.
+Evictee trampolines (tactics T2/T3) are the degenerate case with an
+empty body.
+
+Relocation must preserve semantics at the new address:
+
+* direct rel8/rel32 branches are re-encoded against their absolute target;
+* ``loop``/``jrcxz`` (rel8-only encodings) are expanded into a
+  branch-out trampoline pattern;
+* rip-relative memory operands get their disp32 rebased;
+* everything else is position-independent and copied verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PatchError
+from repro.x86 import encoder as enc
+from repro.x86.insn import Instruction
+from repro.x86.tables import Flow
+
+JMP_BACK_SIZE = 5
+
+# Caller-saved registers preserved around a call-style instrumentation.
+_SCRATCH_REGS = (enc.RAX, enc.RCX, enc.RDX, enc.RSI, enc.RDI,
+                 enc.R8, enc.R9, enc.R10, enc.R11)
+RED_ZONE = 128
+
+
+def relocated_size(insn: Instruction) -> int:
+    """Exact size of the relocated copy of *insn* (address-independent)."""
+    if insn.flow == Flow.JMP:
+        return 5
+    if insn.flow == Flow.JCC:
+        return 6
+    if insn.flow == Flow.CALL and insn.is_direct_branch:
+        return 5
+    if insn.flow == Flow.LOOP:
+        return 9
+    return insn.length
+
+
+def relocate(insn: Instruction, at_addr: int) -> bytes:
+    """Encode *insn* so it behaves identically when placed at *at_addr*."""
+    if insn.flow == Flow.JMP and insn.is_direct_branch:
+        assert insn.target is not None
+        return enc.encode_jmp_rel32(insn.target - (at_addr + 5))
+    if insn.flow == Flow.JCC:
+        assert insn.target is not None
+        cc = insn.opcode & 0x0F
+        return enc.encode_jcc_rel32(cc, insn.target - (at_addr + 6))
+    if insn.flow == Flow.CALL and insn.is_direct_branch:
+        assert insn.target is not None
+        return enc.encode_call_rel32(insn.target - (at_addr + 5))
+    if insn.flow == Flow.LOOP:
+        # loopcc/jrcxz only exist with rel8; expand to the standard
+        # branch-out pattern:  loopcc +2; jmp +5; jmp target
+        assert insn.target is not None
+        out = bytearray()
+        out += bytes((insn.opcode, 0x02))  # taken -> out[4]
+        out += enc.encode_jmp_rel8(5)  # not taken -> fall through at out[9]
+        out += enc.encode_jmp_rel32(insn.target - (at_addr + 9))
+        return bytes(out)
+    if insn.rip_relative:
+        orig_target = insn.end + (insn.disp or 0)
+        new_disp = orig_target - (at_addr + insn.length)
+        if not -(1 << 31) <= new_disp < (1 << 31):
+            raise PatchError(
+                f"rip-relative operand of {insn.mnemonic} at {insn.address:#x} "
+                f"unreachable from trampoline at {at_addr:#x}"
+            )
+        raw = bytearray(insn.raw)
+        raw[insn.disp_offset : insn.disp_offset + 4] = (
+            new_disp & 0xFFFFFFFF
+        ).to_bytes(4, "little")
+        return bytes(raw)
+    return insn.raw
+
+
+class Instrumentation:
+    """Base class for trampoline instrumentation bodies.
+
+    Bodies must be position-independent (or use ``movabs``) so that their
+    size is known before the trampoline address is chosen.
+    """
+
+    name = "base"
+
+    def size(self, insn: Instruction) -> int:
+        probe = enc.Assembler(base=0)
+        self.emit(probe, insn)
+        return len(probe.bytes())
+
+    def emit(self, asm: enc.Assembler, insn: Instruction) -> None:
+        raise NotImplementedError
+
+
+class Empty(Instrumentation):
+    """The paper's "empty" instrumentation: displaced instruction only."""
+
+    name = "empty"
+
+    def size(self, insn: Instruction) -> int:
+        return 0
+
+    def emit(self, asm: enc.Assembler, insn: Instruction) -> None:
+        return
+
+
+class Counter(Instrumentation):
+    """Increment a 64-bit counter in memory (basic-block-counting style).
+
+    Respects the System V red zone and preserves flags and registers.
+    """
+
+    name = "counter"
+
+    def __init__(self, counter_vaddr: int) -> None:
+        self.counter_vaddr = counter_vaddr
+
+    def emit(self, asm: enc.Assembler, insn: Instruction) -> None:
+        asm.raw(b"\x48\x8d\x64\x24\x80")  # lea -0x80(%rsp), %rsp
+        asm.pushfq()
+        asm.push(enc.RAX)
+        asm.mov_imm64(enc.RAX, self.counter_vaddr)
+        asm.inc_mem64(enc.RAX)
+        asm.pop(enc.RAX)
+        asm.popfq()
+        asm.raw(b"\x48\x8d\xa4\x24\x80\x00\x00\x00")  # lea 0x80(%rsp), %rsp
+
+
+class CallFunction(Instrumentation):
+    """Call an absolute function, optionally passing the effective address
+    of the displaced instruction's memory operand in ``%rdi`` (the shape
+    used by the LowFat heap-write hardening of Section 6.3).
+
+    *clobbers* narrows the saved register set when the callee's clobbers
+    are known (E9Patch hand-optimizes its trampolines the same way); the
+    default saves every caller-saved register.
+    """
+
+    name = "call"
+
+    def __init__(self, func_vaddr: int, pass_mem_operand: bool = False,
+                 clobbers: tuple[int, ...] | None = None,
+                 preserves_flags: bool = False) -> None:
+        self.func_vaddr = func_vaddr
+        self.pass_mem_operand = pass_mem_operand
+        self.saved = tuple(clobbers) if clobbers is not None else _SCRATCH_REGS
+        if enc.R11 not in self.saved:
+            self.saved = self.saved + (enc.R11,)  # used for the call itself
+        self.preserves_flags = preserves_flags
+
+    def emit(self, asm: enc.Assembler, insn: Instruction) -> None:
+        asm.raw(b"\x48\x8d\x64\x24\x80")  # lea -0x80(%rsp), %rsp
+        if not self.preserves_flags:
+            asm.pushfq()
+        for reg in self.saved:
+            asm.push(reg)
+        if self.pass_mem_operand:
+            if insn.has_mem_operand and not insn.rip_relative:
+                asm.lea_from_modrm(enc.RDI, insn)
+            else:
+                asm.mov_imm32(enc.RDI, 0)
+        asm.mov_imm64(enc.R11, self.func_vaddr)
+        asm.call_reg(enc.R11)
+        for reg in reversed(self.saved):
+            asm.pop(reg)
+        if not self.preserves_flags:
+            asm.popfq()
+        asm.raw(b"\x48\x8d\xa4\x24\x80\x00\x00\x00")  # lea 0x80(%rsp), %rsp
+
+
+def trampoline_size(insn: Instruction, instr: Instrumentation) -> int:
+    """Exact trampoline size for *insn* with *instr* (address-independent)."""
+    size = instr.size(insn) + relocated_size(insn)
+    if not _no_return(insn):
+        size += JMP_BACK_SIZE
+    return size
+
+
+def _no_return(insn: Instruction) -> bool:
+    """True if control never falls through the displaced instruction."""
+    return insn.flow in (Flow.JMP, Flow.RET)
+
+
+def build_trampoline(insn: Instruction, instr: Instrumentation,
+                     tramp_addr: int) -> bytes:
+    """Emit the trampoline body for *insn* at *tramp_addr*."""
+    asm = enc.Assembler(base=tramp_addr)
+    instr.emit(asm, insn)
+    body = asm.bytes()
+    out = bytearray(body)
+    out += relocate(insn, tramp_addr + len(out))
+    if not _no_return(insn):
+        back = insn.end - (tramp_addr + len(out) + JMP_BACK_SIZE)
+        out += enc.encode_jmp_rel32(back)
+    expected = trampoline_size(insn, instr)
+    if len(out) != expected:
+        raise PatchError(
+            f"trampoline size mismatch: {len(out)} != predicted {expected}"
+        )
+    return bytes(out)
+
+
+@dataclass
+class Trampoline:
+    """An allocated, encoded trampoline."""
+
+    vaddr: int
+    code: bytes
+    tag: str = ""
+
+    @property
+    def size(self) -> int:
+        return len(self.code)
+
+    @property
+    def end(self) -> int:
+        return self.vaddr + len(self.code)

@@ -1,0 +1,20 @@
+"""ELF64 substrate: reader, in-place rewriter, and from-scratch builder.
+
+Replaces an external ELF library.  The writer follows the paper's
+Section 5.1 discipline: existing segments are patched strictly in place
+and new data (trampolines, loader) is appended to the end of the file, so
+no existing file offsets ever move.
+"""
+
+from repro.elf.reader import ElfFile, Section, Segment
+from repro.elf.writer import ElfRewriter, AppendedSegment
+from repro.elf.builder import TinyProgram
+
+__all__ = [
+    "ElfFile",
+    "Section",
+    "Segment",
+    "ElfRewriter",
+    "AppendedSegment",
+    "TinyProgram",
+]

@@ -1,0 +1,229 @@
+"""Build minimal static x86-64 ELF executables from scratch.
+
+Used by tests and examples to create fully controlled input binaries that
+run natively on Linux (no libc, direct syscalls).  Supports both non-PIE
+(ET_EXEC at a fixed low base, the paper's "hard" case) and PIE (ET_DYN)
+layouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.elf import constants as c
+from repro.elf.structs import Ehdr, Phdr, Shdr
+from repro.x86.encoder import Assembler
+
+NONPIE_BASE = 0x400000
+HEADER_ROOM = 0x1000  # ehdr + phdrs fit in the first page
+
+
+@dataclass
+class TinyProgram:
+    """A tiny static executable under construction.
+
+    The caller provides machine code through an :class:`Assembler` rooted
+    at the text virtual address, plus optional data blobs placed in a
+    read-write segment.  ``build()`` returns a runnable ELF image.
+
+    >>> prog = TinyProgram()
+    >>> a = prog.text
+    >>> a.mov_imm32(0, 60 & 0xffffffff)  # doctest: +SKIP
+    """
+
+    pie: bool = False
+    base: int = NONPIE_BASE
+    data_blobs: list[tuple[str, bytes]] = field(default_factory=list)
+    bss_size: int = 0
+    # Extra anonymous read-write PT_LOAD segments: (vaddr, memsz).  Used
+    # e.g. to pre-map the low-fat heap regions so hardened workloads run
+    # both natively and in the VM.
+    extra_segments: list[tuple[int, int]] = field(default_factory=list)
+    _text: Assembler | None = None
+
+    def __post_init__(self) -> None:
+        if self.pie:
+            self.base = 0
+        self._text = Assembler(base=self.text_vaddr)
+
+    @property
+    def text_vaddr(self) -> int:
+        return self.base + HEADER_ROOM
+
+    @property
+    def text(self) -> Assembler:
+        assert self._text is not None
+        return self._text
+
+    def add_data(self, name: str, data: bytes) -> int:
+        """Add a named blob to the data segment; returns its vaddr."""
+        addr = self._data_vaddr() + sum(
+            (len(d) + 7) & ~7 for _, d in self.data_blobs
+        )
+        self.data_blobs.append((name, data))
+        return addr
+
+    def data_vaddr(self, name: str) -> int:
+        addr = self._data_vaddr()
+        for blob_name, data in self.data_blobs:
+            if blob_name == name:
+                return addr
+            addr += (len(data) + 7) & ~7
+        raise KeyError(name)
+
+    def _data_vaddr(self) -> int:
+        # The data segment starts on the page after the (padded) text.
+        text_end = self.text_vaddr + max(len(self.text.buf), 1)
+        return (text_end + c.PAGE_SIZE - 1) & ~(c.PAGE_SIZE - 1)
+
+    # -- common code fragments ----------------------------------------------
+
+    def emit_exit(self, code: int) -> None:
+        """exit(code) via syscall."""
+        a = self.text
+        a.mov_imm32(7, code)  # mov edi, code
+        a.mov_imm32(0, c.SYS_EXIT)  # mov eax, 60
+        a.syscall()
+
+    def emit_write(self, fd: int, buf_vaddr: int | str, size: int) -> None:
+        """write(fd, buf, size) via syscall (clobbers rax/rdi/rsi/rdx/rcx/r11)."""
+        a = self.text
+        a.mov_imm32(7, fd)
+        if isinstance(buf_vaddr, str):
+            a.lea_rip(6, buf_vaddr)
+        else:
+            if self.pie:
+                a.mov_imm64(6, buf_vaddr)  # caller must pass run-time addr
+            else:
+                a.mov_imm64(6, buf_vaddr)
+        a.mov_imm32(2, size)
+        a.mov_imm32(0, c.SYS_WRITE)
+        a.syscall()
+
+    # -- emission -------------------------------------------------------------
+
+    def build(self) -> bytes:
+        """Assemble the final ELF image."""
+        text_bytes = self.text.bytes()
+
+        data_bytes = bytearray()
+        for _, blob in self.data_blobs:
+            data_bytes.extend(blob)
+            pad = (-len(data_bytes)) % 8
+            data_bytes.extend(b"\x00" * pad)
+
+        text_off = HEADER_ROOM
+        text_vaddr = self.text_vaddr
+        data_off = (text_off + len(text_bytes) + c.PAGE_SIZE - 1) & ~(
+            c.PAGE_SIZE - 1
+        )
+        data_vaddr = self._data_vaddr()
+
+        phdrs = [
+            Phdr(  # headers (read-only)
+                type=c.PT_LOAD, flags=c.PF_R, offset=0, vaddr=self.base,
+                paddr=self.base, filesz=HEADER_ROOM, memsz=HEADER_ROOM,
+                align=c.PAGE_SIZE,
+            ),
+            Phdr(  # text
+                type=c.PT_LOAD, flags=c.PF_R | c.PF_X, offset=text_off,
+                vaddr=text_vaddr, paddr=text_vaddr,
+                filesz=len(text_bytes), memsz=len(text_bytes),
+                align=c.PAGE_SIZE,
+            ),
+        ]
+        have_data = bool(data_bytes) or self.bss_size
+        if have_data:
+            phdrs.append(
+                Phdr(
+                    type=c.PT_LOAD, flags=c.PF_R | c.PF_W, offset=data_off,
+                    vaddr=data_vaddr, paddr=data_vaddr,
+                    filesz=len(data_bytes),
+                    memsz=len(data_bytes) + self.bss_size,
+                    align=c.PAGE_SIZE,
+                )
+            )
+        for seg_vaddr, seg_memsz in self.extra_segments:
+            phdrs.append(
+                Phdr(
+                    type=c.PT_LOAD, flags=c.PF_R | c.PF_W,
+                    offset=seg_vaddr % c.PAGE_SIZE,  # congruence, no file bytes
+                    vaddr=seg_vaddr, paddr=seg_vaddr,
+                    filesz=0, memsz=seg_memsz, align=c.PAGE_SIZE,
+                )
+            )
+        phdrs.append(
+            Phdr(  # non-executable stack
+                type=c.PT_GNU_STACK, flags=c.PF_R | c.PF_W, offset=0,
+                vaddr=0, paddr=0, filesz=0, memsz=0, align=16,
+            )
+        )
+
+        # Section headers: null, .text, .data, .shstrtab — so frontends can
+        # locate .text the same way they would in a compiler-produced binary.
+        shstrtab = b"\x00.text\x00.data\x00.shstrtab\x00"
+        file_end = data_off + len(data_bytes) if have_data else text_off + len(text_bytes)
+        shstr_off = file_end
+        shoff = shstr_off + len(shstrtab)
+        shdrs = [
+            Shdr(0, c.SHT_NULL, 0, 0, 0, 0, 0, 0, 0, 0),
+            Shdr(1, c.SHT_PROGBITS, c.SHF_ALLOC | c.SHF_EXECINSTR,
+                 text_vaddr, text_off, len(text_bytes), 0, 0, 16, 0),
+            Shdr(7, c.SHT_PROGBITS, c.SHF_ALLOC | c.SHF_WRITE,
+                 data_vaddr, data_off, len(data_bytes), 0, 0, 8, 0),
+            Shdr(13, c.SHT_STRTAB, 0, 0, shstr_off, len(shstrtab), 0, 0, 1, 0),
+        ]
+
+        ehdr = Ehdr.new(
+            entry=text_vaddr,
+            phoff=c.EHDR_SIZE,
+            phnum=len(phdrs),
+            type=c.ET_DYN if self.pie else c.ET_EXEC,
+            shoff=shoff,
+            shnum=len(shdrs),
+            shstrndx=3,
+        )
+
+        out = bytearray()
+        out.extend(ehdr.pack())
+        for p in phdrs:
+            out.extend(p.pack())
+        if len(out) > HEADER_ROOM:
+            raise OverflowError("too many program headers for header page")
+        out.extend(b"\x00" * (HEADER_ROOM - len(out)))
+        out.extend(text_bytes)
+        if have_data:
+            out.extend(b"\x00" * (data_off - len(out)))
+            out.extend(data_bytes)
+        out.extend(shstrtab)
+        for s in shdrs:
+            out.extend(s.pack())
+        return bytes(out)
+
+
+HelloBuilder = Callable[[], bytes]
+
+
+def hello_world(message: bytes = b"hello, world\n", *, pie: bool = False) -> bytes:
+    """Build a runnable hello-world executable (used by tests/examples)."""
+    prog = TinyProgram(pie=pie)
+    prog.add_data("msg", message)
+    a = prog.text
+    a.mov_imm32(7, 1)  # rdi = stdout
+    if pie:
+        a.lea_rip(6, "msg_label")
+    else:
+        a.mov_imm64(6, prog.data_vaddr("msg"))
+    a.mov_imm32(2, len(message))
+    a.mov_imm32(0, c.SYS_WRITE)
+    a.syscall()
+    a.mov_imm32(7, 0)
+    a.mov_imm32(0, c.SYS_EXIT)
+    a.syscall()
+    if pie:
+        # Place a rip-relative label at the data vaddr: emit padding into
+        # text until the data page, which TinyProgram handles via blobs —
+        # instead record the label at the known relative distance.
+        a.labels["msg_label"] = prog.data_vaddr("msg") - a.base
+    return prog.build()

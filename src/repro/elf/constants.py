@@ -1,0 +1,75 @@
+"""ELF64 file-format constants (the subset needed for x86-64 Linux)."""
+
+from __future__ import annotations
+
+ELF_MAGIC = b"\x7fELF"
+
+# e_ident indices
+EI_CLASS = 4
+EI_DATA = 5
+EI_VERSION = 6
+
+ELFCLASS64 = 2
+ELFDATA2LSB = 1
+
+# e_type
+ET_EXEC = 2
+ET_DYN = 3
+
+# e_machine
+EM_X86_64 = 62
+
+# Program header types
+PT_NULL = 0
+PT_LOAD = 1
+PT_DYNAMIC = 2
+PT_INTERP = 3
+PT_NOTE = 4
+PT_PHDR = 6
+PT_TLS = 7
+PT_GNU_EH_FRAME = 0x6474E550
+PT_GNU_STACK = 0x6474E551
+PT_GNU_RELRO = 0x6474E552
+
+# Program header flags
+PF_X = 1
+PF_W = 2
+PF_R = 4
+
+# Section header types
+SHT_NULL = 0
+SHT_PROGBITS = 1
+SHT_SYMTAB = 2
+SHT_STRTAB = 3
+SHT_NOBITS = 8
+SHT_DYNSYM = 11
+
+# Section flags
+SHF_WRITE = 1
+SHF_ALLOC = 2
+SHF_EXECINSTR = 4
+
+PAGE_SIZE = 4096
+
+EHDR_SIZE = 64
+PHDR_SIZE = 56
+SHDR_SIZE = 64
+
+# Linux syscall numbers used by the injected loader stub.
+SYS_READ = 0
+SYS_WRITE = 1
+SYS_OPEN = 2
+SYS_CLOSE = 3
+SYS_MMAP = 9
+SYS_MPROTECT = 10
+SYS_EXIT = 60
+
+# mmap constants
+PROT_READ = 1
+PROT_WRITE = 2
+PROT_EXEC = 4
+MAP_PRIVATE = 2
+MAP_FIXED = 0x10
+MAP_ANONYMOUS = 0x20
+
+O_RDONLY = 0

@@ -1,0 +1,125 @@
+"""PT_DYNAMIC parsing and in-place editing.
+
+Shared objects have no entry point, so loader-mode rewriting cannot
+redirect ``e_entry``; instead (like E9Patch) we hijack the library's
+``DT_INIT`` function: the dynamic linker calls it on load, our stub runs
+the trampoline mmaps, then tail-calls the original init with all
+registers intact.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ElfError
+from repro.elf import constants as c
+from repro.elf.reader import ElfFile
+
+DT_NULL = 0
+DT_INIT = 12
+DT_FINI = 13
+DT_INIT_ARRAY = 25
+DT_INIT_ARRAYSZ = 27
+DT_FLAGS = 30
+DT_FLAGS_1 = 0x6FFFFFFB
+
+_ENTRY = struct.Struct("<qQ")  # d_tag, d_un
+
+
+@dataclass
+class DynEntry:
+    """One Elf64_Dyn entry plus its file location."""
+
+    tag: int
+    value: int
+    offset: int  # file offset of the entry
+
+    @property
+    def value_offset(self) -> int:
+        return self.offset + 8
+
+
+def dynamic_entries(elf: ElfFile) -> list[DynEntry]:
+    """Parse the PT_DYNAMIC segment (empty list if none)."""
+    dyn = [p for p in elf.phdrs if p.type == c.PT_DYNAMIC]
+    if not dyn:
+        return []
+    seg = dyn[0]
+    out: list[DynEntry] = []
+    offset = seg.offset
+    end = seg.offset + seg.filesz
+    while offset + _ENTRY.size <= end:
+        tag, value = _ENTRY.unpack_from(elf.data, offset)
+        if tag == DT_NULL:
+            break
+        out.append(DynEntry(tag=tag, value=value, offset=offset))
+        offset += _ENTRY.size
+    return out
+
+
+def find_init(elf: ElfFile) -> DynEntry | None:
+    """The DT_INIT entry, if the object has one."""
+    for entry in dynamic_entries(elf):
+        if entry.tag == DT_INIT:
+            return entry
+    return None
+
+
+R_X86_64_RELATIVE = 8
+_RELA = struct.Struct("<QQq")  # r_offset, r_info, r_addend
+
+
+def _find_relative_addend_offset(elf: ElfFile, slot_vaddr: int) -> int | None:
+    """File offset of the r_addend of the R_X86_64_RELATIVE relocation
+    targeting *slot_vaddr*, if any (the dynamic linker writes the slot
+    from this addend, so patching the slot bytes alone is futile)."""
+    rela = elf.section(".rela.dyn")
+    if rela is None:
+        return None
+    for off in range(rela.offset, rela.offset + rela.size, _RELA.size):
+        r_offset, r_info, _addend = _RELA.unpack_from(elf.data, off)
+        if (r_info & 0xFFFFFFFF) == R_X86_64_RELATIVE and r_offset == slot_vaddr:
+            return off + 16  # the addend field
+    return None
+
+
+def find_init_target(elf: ElfFile) -> tuple[str, int, int] | None:
+    """Locate an initialization hook to hijack.
+
+    Returns ``(kind, patch_file_offset, original_target)`` where *kind*
+    is ``"init"`` (the DT_INIT d_un field) or ``"init_array"`` (the
+    first INIT_ARRAY slot — via its RELATIVE relocation addend when one
+    exists, else the raw slot bytes).  None if the object has neither.
+    """
+    entry = find_init(elf)
+    if entry is not None:
+        return ("init", entry.value_offset, entry.value)
+    entries = {e.tag: e for e in dynamic_entries(elf)}
+    array = entries.get(DT_INIT_ARRAY)
+    size = entries.get(DT_INIT_ARRAYSZ)
+    if array is None or size is None or size.value < 8:
+        return None
+    slot_vaddr = array.value
+    reloc_addend_off = _find_relative_addend_offset(elf, slot_vaddr)
+    if reloc_addend_off is not None:
+        original = struct.unpack_from("<q", elf.data, reloc_addend_off)[0]
+        return ("init_array", reloc_addend_off, original)
+    slot_off = elf.vaddr_to_offset(slot_vaddr)
+    original = struct.unpack_from("<Q", elf.data, slot_off)[0]
+    return ("init_array", slot_off, original)
+
+
+def retarget_init(elf: ElfFile, new_init: int) -> tuple[int, int]:
+    """Plan an init-hook redirect: returns (file offset to patch,
+    original init address).  Raises if the object has no DT_INIT and no
+    DT_INIT_ARRAY.
+    """
+    target = find_init_target(elf)
+    if target is None:
+        raise ElfError(
+            "shared object has neither DT_INIT nor DT_INIT_ARRAY to "
+            "hijack; cannot install the trampoline loader"
+        )
+    _kind, patch_offset, original = target
+    return patch_offset, original

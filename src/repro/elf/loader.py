@@ -1,0 +1,147 @@
+"""The injected loader stub (paper Section 5.1).
+
+Physical page grouping needs one-to-many file mappings, which PT_LOAD
+program headers cannot express.  Like E9Patch, we integrate a small
+loader into the output binary: the ELF entry point is redirected to a
+stub that opens ``/proc/self/exe``, ``mmap``s every (virtual block ->
+physical block) pair with ``MAP_PRIVATE|MAP_FIXED``, closes the fd, and
+tail-jumps to the original entry with all registers restored.
+
+PIE support: mapping addresses and the original entry are link-time
+values; the stub discovers the runtime load base with a rip-relative
+``lea`` and rebases everything at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.elf import constants as c
+from repro.x86 import encoder as enc
+
+# Registers saved/restored around the stub (everything except %rsp).
+_SAVED = (enc.RAX, enc.RBX, enc.RCX, enc.RDX, enc.RSI, enc.RDI, enc.RBP,
+          enc.R8, enc.R9, enc.R10, enc.R11, enc.R12, enc.R13, enc.R14, enc.R15)
+
+_ENTRY_SLOT = len(_SAVED) * 8  # rsp-relative offset of the target slot
+
+MAPPING_ENTRY_SIZE = 24  # vaddr:8  size:8  file_offset:8
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """One mmap the stub must perform."""
+
+    vaddr: int  # link-time virtual address (page-aligned)
+    size: int  # bytes (page-multiple)
+    offset: int  # file offset (page-aligned)
+
+
+LOADER_FAIL_EXIT = 127
+_FAIL_MESSAGE = b"e9patch loader: cannot reopen the patched binary\n"
+
+
+def build_loader(
+    stub_vaddr: int,
+    mappings: list[Mapping],
+    original_entry: int,
+    *,
+    pie: bool,
+    self_path: str = "/proc/self/exe",
+) -> bytes:
+    """Assemble the loader stub + mapping table at *stub_vaddr*.
+
+    *self_path* is the file the trampoline pages are mmap'ed from: the
+    binary itself for executables; for shared objects (which cannot use
+    ``/proc/self/exe``) the rewriter embeds the library's install path.
+    If the open fails at runtime the stub reports and exits with
+    ``LOADER_FAIL_EXIT`` rather than crash later on an unmapped
+    trampoline.
+    """
+    a = enc.Assembler(base=stub_vaddr)
+
+    # Reserve a stack slot for the tail-jump target, then save registers.
+    a.push(enc.RAX)  # placeholder slot
+    for reg in _SAVED:
+        a.push(reg)
+
+    # rbp := runtime load base (0 for non-PIE).
+    if pie:
+        # lea rbp, [rip - link_addr_of_next_insn]  =>  rbp = runtime base
+        a.raw(b"\x48\x8d\x2d")
+        next_link = a.here + 4
+        a.raw(((-next_link) & 0xFFFFFFFF).to_bytes(4, "little"))
+    else:
+        a.raw(b"\x31\xed")  # xor ebp, ebp
+
+    # fd := open(self_path, O_RDONLY)
+    a.lea_rip(enc.RDI, "path")
+    a.mov_imm32(enc.RSI, c.O_RDONLY)
+    a.mov_imm32(enc.RAX, c.SYS_OPEN)
+    a.syscall()
+    a.raw(b"\x48\x85\xc0")  # test rax, rax
+    a.jcc(0x8, "open_failed")  # js (negative errno)
+    a.mov_reg(enc.R12, enc.RAX)
+
+    # Loop over the mapping table.
+    a.lea_rip(enc.R13, "table")
+    a.mov_imm32(enc.R14, len(mappings))
+    a.label("loop")
+    a.cmp_imm(enc.R14, 0)
+    a.jcc(0x4, "done")  # je
+    a.mov_load(enc.RDI, enc.R13, 0)  # link vaddr
+    a.raw(b"\x48\x01\xef")  # add rdi, rbp (rebase)
+    a.mov_load(enc.RSI, enc.R13, 8)  # size
+    a.mov_imm32(enc.RDX, c.PROT_READ | c.PROT_EXEC)
+    a.mov_imm32(enc.R10, c.MAP_PRIVATE | c.MAP_FIXED)
+    a.mov_reg(enc.R8, enc.R12)  # fd
+    a.mov_load(enc.R9, enc.R13, 16)  # file offset
+    a.mov_imm32(enc.RAX, c.SYS_MMAP)
+    a.syscall()
+    a.add_imm(enc.R13, MAPPING_ENTRY_SIZE)
+    a.sub_imm(enc.R14, 1)
+    a.jmp("loop")
+    a.label("done")
+
+    # close(fd)
+    a.mov_reg(enc.RDI, enc.R12)
+    a.mov_imm32(enc.RAX, c.SYS_CLOSE)
+    a.syscall()
+
+    # Entry target -> reserved stack slot (rip-relative lea rebases
+    # automatically under PIE; for non-PIE it is equally correct).
+    a.lea_rip(enc.RAX, original_entry)
+    a.mov_store(enc.RSP, enc.RAX, _ENTRY_SLOT)
+
+    for reg in reversed(_SAVED):
+        a.pop(reg)
+    a.ret()  # pops the slot -> jumps to the original entry
+
+    a.label("open_failed")
+    a.mov_imm32(enc.RDI, 2)
+    a.lea_rip(enc.RSI, "failmsg")
+    a.mov_imm32(enc.RDX, len(_FAIL_MESSAGE))
+    a.mov_imm32(enc.RAX, c.SYS_WRITE)
+    a.syscall()
+    a.mov_imm32(enc.RDI, LOADER_FAIL_EXIT)
+    a.mov_imm32(enc.RAX, c.SYS_EXIT)
+    a.syscall()
+
+    a.label("failmsg")
+    a.raw(_FAIL_MESSAGE)
+    a.label("path")
+    a.raw(self_path.encode() + b"\x00")
+    pad = (-len(a.buf)) % 8
+    a.raw(b"\x00" * pad)
+    a.label("table")
+    for m in mappings:
+        a.raw(m.vaddr.to_bytes(8, "little", signed=m.vaddr < 0))
+        a.raw(m.size.to_bytes(8, "little"))
+        a.raw(m.offset.to_bytes(8, "little"))
+
+    return a.bytes()
+
+
+def loader_size_estimate(n_mappings: int, path_len: int = 64) -> int:
+    """Upper bound on the stub size, for address-space reservation."""
+    return 512 + path_len + MAPPING_ENTRY_SIZE * n_mappings

@@ -1,0 +1,165 @@
+"""ELF64 header structures with exact binary pack/unpack."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ElfError
+from repro.elf import constants as c
+
+_EHDR_FMT = "<16sHHIQQQIHHHHHH"
+_PHDR_FMT = "<IIQQQQQQ"
+_SHDR_FMT = "<IIQQQQIIQQ"
+
+
+@dataclass
+class Ehdr:
+    """ELF64 file header."""
+
+    ident: bytes
+    type: int
+    machine: int
+    version: int
+    entry: int
+    phoff: int
+    shoff: int
+    flags: int
+    ehsize: int
+    phentsize: int
+    phnum: int
+    shentsize: int
+    shnum: int
+    shstrndx: int
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Ehdr":
+        if len(data) < c.EHDR_SIZE:
+            raise ElfError("file too small for an ELF header")
+        fields = struct.unpack_from(_EHDR_FMT, data, 0)
+        hdr = cls(*fields)
+        if hdr.ident[:4] != c.ELF_MAGIC:
+            raise ElfError("bad ELF magic")
+        if hdr.ident[c.EI_CLASS] != c.ELFCLASS64:
+            raise ElfError("only ELF64 is supported")
+        if hdr.ident[c.EI_DATA] != c.ELFDATA2LSB:
+            raise ElfError("only little-endian ELF is supported")
+        return hdr
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            _EHDR_FMT,
+            self.ident,
+            self.type,
+            self.machine,
+            self.version,
+            self.entry,
+            self.phoff,
+            self.shoff,
+            self.flags,
+            self.ehsize,
+            self.phentsize,
+            self.phnum,
+            self.shentsize,
+            self.shnum,
+            self.shstrndx,
+        )
+
+    @classmethod
+    def new(cls, *, entry: int, phoff: int, phnum: int, type: int = c.ET_EXEC,
+            shoff: int = 0, shnum: int = 0, shstrndx: int = 0) -> "Ehdr":
+        ident = bytearray(16)
+        ident[0:4] = c.ELF_MAGIC
+        ident[c.EI_CLASS] = c.ELFCLASS64
+        ident[c.EI_DATA] = c.ELFDATA2LSB
+        ident[c.EI_VERSION] = 1
+        return cls(
+            ident=bytes(ident),
+            type=type,
+            machine=c.EM_X86_64,
+            version=1,
+            entry=entry,
+            phoff=phoff,
+            shoff=shoff,
+            flags=0,
+            ehsize=c.EHDR_SIZE,
+            phentsize=c.PHDR_SIZE,
+            phnum=phnum,
+            shentsize=c.SHDR_SIZE,
+            shnum=shnum,
+            shstrndx=shstrndx,
+        )
+
+
+@dataclass
+class Phdr:
+    """ELF64 program header."""
+
+    type: int
+    flags: int
+    offset: int
+    vaddr: int
+    paddr: int
+    filesz: int
+    memsz: int
+    align: int
+
+    @classmethod
+    def unpack(cls, data: bytes, off: int) -> "Phdr":
+        fields = struct.unpack_from(_PHDR_FMT, data, off)
+        return cls(*fields)
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            _PHDR_FMT,
+            self.type,
+            self.flags,
+            self.offset,
+            self.vaddr,
+            self.paddr,
+            self.filesz,
+            self.memsz,
+            self.align,
+        )
+
+    def contains_vaddr(self, vaddr: int) -> bool:
+        return self.vaddr <= vaddr < self.vaddr + self.memsz
+
+    def contains_offset(self, offset: int) -> bool:
+        return self.offset <= offset < self.offset + self.filesz
+
+
+@dataclass
+class Shdr:
+    """ELF64 section header."""
+
+    name: int
+    type: int
+    flags: int
+    addr: int
+    offset: int
+    size: int
+    link: int
+    info: int
+    addralign: int
+    entsize: int
+
+    @classmethod
+    def unpack(cls, data: bytes, off: int) -> "Shdr":
+        fields = struct.unpack_from(_SHDR_FMT, data, off)
+        return cls(*fields)
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            _SHDR_FMT,
+            self.name,
+            self.type,
+            self.flags,
+            self.addr,
+            self.offset,
+            self.size,
+            self.link,
+            self.info,
+            self.addralign,
+            self.entsize,
+        )

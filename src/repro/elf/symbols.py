@@ -1,0 +1,114 @@
+"""ELF symbol-table parsing (.symtab / .dynsym).
+
+Used by the symbol-guided frontend: function symbols give ground-truth
+instruction-stream *starting points* (not control flow!), which keeps a
+linear sweep aligned across the data islands that hand-written assembly
+(glibc!) embeds in ``.text``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.elf import constants as c
+from repro.elf.reader import ElfFile
+
+STT_FUNC = 2
+STT_GNU_IFUNC = 10
+
+_SYM = struct.Struct("<IBBHQQ")  # name, info, other, shndx, value, size
+
+
+@dataclass(frozen=True)
+class FunctionSymbol:
+    """One STT_FUNC / STT_GNU_IFUNC entry with a usable extent."""
+
+    name: str
+    value: int
+    size: int
+    is_ifunc: bool = False
+
+    @property
+    def end(self) -> int:
+        return self.value + self.size
+
+
+def _parse_symtab(elf: ElfFile, symtab_name: str, strtab_name: str
+                  ) -> list[FunctionSymbol]:
+    symtab = elf.section(symtab_name)
+    strtab = elf.section(strtab_name)
+    if symtab is None or strtab is None:
+        return []
+    names = elf.data[strtab.offset : strtab.offset + strtab.size]
+    out: list[FunctionSymbol] = []
+    count = symtab.size // _SYM.size
+    for i in range(count):
+        name_off, info, _other, _shndx, value, size = _SYM.unpack_from(
+            elf.data, symtab.offset + i * _SYM.size)
+        if (info & 0xF) not in (STT_FUNC, STT_GNU_IFUNC):
+            continue
+        if size == 0 or value == 0:
+            continue
+        end = names.find(b"\x00", name_off)
+        name = names[name_off : end if end >= 0 else None].decode(
+            "utf-8", "replace")
+        out.append(FunctionSymbol(name=name, value=value, size=size,
+                                  is_ifunc=(info & 0xF) == STT_GNU_IFUNC))
+    return out
+
+
+def function_symbols(elf: ElfFile, *,
+                     include_ifunc_resolvers: bool = False
+                     ) -> list[FunctionSymbol]:
+    """All function symbols with extents, from .symtab and .dynsym,
+    deduplicated by start address and clipped to executable ranges.
+
+    STT_GNU_IFUNC symbols are excluded by default: their value is the
+    *resolver*, which the dynamic linker executes during relocation —
+    before any injected loader stub can run — so resolvers must never be
+    patched in loader mode.
+    """
+    raw = (_parse_symtab(elf, ".symtab", ".strtab")
+           + _parse_symtab(elf, ".dynsym", ".dynstr"))
+    if not include_ifunc_resolvers:
+        raw = [s for s in raw if not s.is_ifunc]
+    exec_ranges = elf.exec_ranges()
+
+    def in_exec(sym: FunctionSymbol) -> bool:
+        return any(lo <= sym.value and sym.end <= hi
+                   for lo, hi in exec_ranges)
+
+    by_addr: dict[int, FunctionSymbol] = {}
+    for sym in raw:
+        if not in_exec(sym):
+            continue
+        prev = by_addr.get(sym.value)
+        if prev is None or sym.size > prev.size:
+            by_addr[sym.value] = sym
+    return [by_addr[a] for a in sorted(by_addr)]
+
+
+# Functions glibc's dynamic linker calls before constructors run
+# (discovered empirically by fault-attribution on an instrumented libc);
+# patching them in loader mode would execute not-yet-mapped trampolines.
+PREINIT_FUNCTIONS = frozenset({"__libc_early_init", "getrlimit"})
+
+
+def function_ranges(elf: ElfFile,
+                    exclude: frozenset[str] = PREINIT_FUNCTIONS
+                    ) -> list[tuple[int, int]]:
+    """Disjoint, sorted (start, end) extents of the known functions.
+
+    Overlapping symbols (aliases, nested ifunc variants) are merged;
+    ifunc resolvers and *exclude* (pre-init functions) are skipped.
+    """
+    spans: list[tuple[int, int]] = []
+    for sym in function_symbols(elf):
+        if sym.name in exclude:
+            continue
+        if spans and sym.value < spans[-1][1]:
+            spans[-1] = (spans[-1][0], max(spans[-1][1], sym.end))
+        else:
+            spans.append((sym.value, sym.end))
+    return spans

@@ -1,0 +1,25 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+* :mod:`repro.eval.table1` — Table 1 (coverage, Time%, Size%)
+* :mod:`repro.eval.dromaeo` — Figure 4 (browser DOM benchmark overheads)
+* :mod:`repro.eval.fig5` — Figure 5 (empty vs LowFat instrumentation)
+* :mod:`repro.eval.ablation` — in-text claims (no-T3 coverage, grouping
+  off, B0 slowdown, PIE effect, scale invariance)
+"""
+
+from repro.eval.table1 import Table1Row, run_row, run_table, format_table
+from repro.eval.dromaeo import DromaeoResult, run_dromaeo, format_dromaeo
+from repro.eval.fig5 import Fig5Row, run_fig5, format_fig5
+
+__all__ = [
+    "Table1Row",
+    "run_row",
+    "run_table",
+    "format_table",
+    "DromaeoResult",
+    "run_dromaeo",
+    "format_dromaeo",
+    "Fig5Row",
+    "run_fig5",
+    "format_fig5",
+]

@@ -1,0 +1,72 @@
+"""Assemble ``benchmarks/out/*.txt`` into one RESULTS.md.
+
+Run after ``pytest benchmarks/ --benchmark-only``::
+
+    python3 -m repro.eval.collect [outdir] [results.md]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+SECTIONS: list[tuple[str, str, str]] = [
+    ("table1_spec.txt", "Table 1 — SPEC2006",
+     "Patching statistics (measured rows interleaved with the paper's)."),
+    ("table1_system.txt", "Table 1 — system binaries", ""),
+    ("table1_browsers.txt", "Table 1 — browsers", ""),
+    ("figure4_dromaeo.txt", "Figure 4 — Dromaeo DOM overheads", ""),
+    ("figure5_lowfat.txt", "Figure 5 — LowFat hardening (SPEC)", ""),
+    ("figure5_browsers.txt", "Figure 5 — LowFat hardening (browsers)", ""),
+    ("ablation_no_t3.txt", "Ablation — coverage without T3", ""),
+    ("ablation_grouping.txt", "Ablation — page grouping off", ""),
+    ("ablation_granularity.txt", "Ablation — granularity sweep", ""),
+    ("ablation_b0.txt", "Ablation — B0 signal handlers", ""),
+    ("ablation_pie.txt", "Ablation — PIE effect", ""),
+    ("ablation_scale.txt", "Ablation — scale invariance", ""),
+    ("ablation_cost_model.txt", "Methods — cost-model sensitivity", ""),
+    ("ablation_packing.txt", "Design insight — packing vs grouping", ""),
+]
+
+
+def collect(outdir: str | pathlib.Path) -> str:
+    """Render all available artifacts as one markdown document."""
+    outdir = pathlib.Path(outdir)
+    parts = [
+        "# Regenerated results",
+        "",
+        "Produced by `pytest benchmarks/ --benchmark-only`; see "
+        "EXPERIMENTS.md for the paper-vs-measured discussion.",
+    ]
+    missing = []
+    for filename, title, blurb in SECTIONS:
+        path = outdir / filename
+        if not path.exists():
+            missing.append(filename)
+            continue
+        parts.append(f"\n## {title}\n")
+        if blurb:
+            parts.append(blurb + "\n")
+        parts.append("```")
+        parts.append(path.read_text().rstrip())
+        parts.append("```")
+    if missing:
+        parts.append("\n## Missing artifacts\n")
+        for name in missing:
+            parts.append(f"- `{name}` (bench not run yet)")
+    return "\n".join(parts) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    outdir = args[0] if args else "benchmarks/out"
+    target = args[1] if len(args) > 1 else "RESULTS.md"
+    text = collect(outdir)
+    pathlib.Path(target).write_text(text)
+    print(f"wrote {target} ({len(text)} bytes, "
+          f"{text.count('## ')} sections)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

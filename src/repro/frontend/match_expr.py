@@ -1,0 +1,302 @@
+"""A small matcher-expression language for selecting patch sites.
+
+The real e9tool selects instructions with expressions like
+``--match 'asm=j.*'`` or ``--match 'size >= 5'``; this module provides
+the equivalent: a lexer, a recursive-descent parser, and an evaluator
+that compiles an expression into an ``Instruction -> bool`` predicate.
+
+Grammar::
+
+    expr       := or
+    or         := and ("or" and)*
+    and        := not ("and" not)*
+    not        := "not" not | primary
+    primary    := "(" expr ")" | comparison | bareword
+    comparison := field cmp value
+    field      := "mnemonic" | "size" | "addr" | "opcode" | "target"
+    cmp        := "==" | "!=" | "<" | "<=" | ">" | ">=" | "=~"
+    value      := integer (decimal or 0x...) | "string" | /regex/
+    bareword   := jumps | heap-writes | calls | all | jcc | jmp | ret |
+                  call | mem-write | mem-read | rip-relative |
+                  direct-branch | indirect-branch
+
+Examples::
+
+    mnemonic == "call" and size >= 5
+    jumps or mnemonic =~ /loop.*/
+    mem-write and not rip-relative
+    addr >= 0x401000 and addr < 0x402000
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.x86.flow import is_heap_write, is_memory_write, is_patchable_jump
+from repro.x86.insn import Instruction
+from repro.x86.tables import Flow
+
+
+class MatchExprError(ReproError):
+    """Syntax or semantic error in a matcher expression."""
+
+
+# --------------------------------------------------------------------------
+# Lexer
+# --------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<cmp>==|!=|<=|>=|<|>|=~)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<hex>0[xX][0-9a-fA-F]+)
+  | (?P<int>\d+)
+  | (?P<string>"[^"]*")
+  | (?P<regex>/(?:[^/\\]|\\.)*/)
+  | (?P<word>[A-Za-z_][A-Za-z0-9_-]*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise MatchExprError(
+                f"unexpected character {source[pos]!r} at offset {pos}"
+            )
+        pos = m.end()
+        kind = m.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append(Token(kind, m.group()))
+    tokens.append(Token("eof", ""))
+    return tokens
+
+
+# --------------------------------------------------------------------------
+# AST
+# --------------------------------------------------------------------------
+
+class Node:
+    def evaluate(self, insn: Instruction) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Or(Node):
+    left: Node
+    right: Node
+
+    def evaluate(self, insn: Instruction) -> bool:
+        return self.left.evaluate(insn) or self.right.evaluate(insn)
+
+
+@dataclass(frozen=True)
+class And(Node):
+    left: Node
+    right: Node
+
+    def evaluate(self, insn: Instruction) -> bool:
+        return self.left.evaluate(insn) and self.right.evaluate(insn)
+
+
+@dataclass(frozen=True)
+class Not(Node):
+    operand: Node
+
+    def evaluate(self, insn: Instruction) -> bool:
+        return not self.operand.evaluate(insn)
+
+
+_FIELDS: dict[str, Callable[[Instruction], object]] = {
+    "mnemonic": lambda i: i.mnemonic,
+    "size": lambda i: i.length,
+    "addr": lambda i: i.address,
+    "opcode": lambda i: i.opcode,
+    "target": lambda i: i.target,
+}
+
+_NUMERIC_CMPS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Node):
+    field: str
+    op: str
+    value: object  # int, str, or compiled regex
+
+    def evaluate(self, insn: Instruction) -> bool:
+        actual = _FIELDS[self.field](insn)
+        if self.op == "==":
+            return actual == self.value
+        if self.op == "!=":
+            return actual != self.value
+        if self.op == "=~":
+            assert isinstance(self.value, re.Pattern)
+            return actual is not None and bool(
+                self.value.fullmatch(str(actual))
+            )
+        if actual is None:
+            return False
+        return _NUMERIC_CMPS[self.op](actual, self.value)
+
+
+_BAREWORDS: dict[str, Callable[[Instruction], bool]] = {
+    "jumps": is_patchable_jump,
+    "heap-writes": is_heap_write,
+    "calls": lambda i: i.flow == Flow.CALL,
+    "all": lambda i: i.mnemonic != "(bad)",
+    "jcc": lambda i: i.flow == Flow.JCC,
+    "jmp": lambda i: i.flow == Flow.JMP,
+    "ret": lambda i: i.is_ret,
+    "call": lambda i: i.flow == Flow.CALL or i.is_indirect_call,
+    "mem-write": is_memory_write,
+    "mem-read": lambda i: i.has_mem_operand and not i.writes_rm,
+    "rip-relative": lambda i: i.rip_relative,
+    "direct-branch": lambda i: i.is_direct_branch,
+    "indirect-branch": lambda i: i.is_indirect_jump or i.is_indirect_call,
+}
+
+
+@dataclass(frozen=True)
+class Bareword(Node):
+    name: str
+
+    def evaluate(self, insn: Instruction) -> bool:
+        return _BAREWORDS[self.name](insn)
+
+
+# --------------------------------------------------------------------------
+# Parser
+# --------------------------------------------------------------------------
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def take(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.take()
+        if token.kind != kind:
+            raise MatchExprError(
+                f"expected {kind}, found {token.text!r}"
+            )
+        return token
+
+    def parse(self) -> Node:
+        node = self.parse_or()
+        if self.peek().kind != "eof":
+            raise MatchExprError(
+                f"trailing input starting at {self.peek().text!r}"
+            )
+        return node
+
+    def parse_or(self) -> Node:
+        node = self.parse_and()
+        while self.peek().kind == "word" and self.peek().text == "or":
+            self.take()
+            node = Or(node, self.parse_and())
+        return node
+
+    def parse_and(self) -> Node:
+        node = self.parse_not()
+        while self.peek().kind == "word" and self.peek().text == "and":
+            self.take()
+            node = And(node, self.parse_not())
+        return node
+
+    def parse_not(self) -> Node:
+        if self.peek().kind == "word" and self.peek().text == "not":
+            self.take()
+            return Not(self.parse_not())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Node:
+        token = self.peek()
+        if token.kind == "lparen":
+            self.take()
+            node = self.parse_or()
+            self.expect("rparen")
+            return node
+        if token.kind == "word":
+            self.take()
+            if token.text in _FIELDS:
+                return self.parse_comparison(token.text)
+            if token.text in _BAREWORDS:
+                return Bareword(token.text)
+            raise MatchExprError(f"unknown name {token.text!r}")
+        raise MatchExprError(f"unexpected token {token.text!r}")
+
+    def parse_comparison(self, field: str) -> Node:
+        op = self.expect("cmp").text
+        value_token = self.take()
+        value: object
+        if value_token.kind == "hex":
+            value = int(value_token.text, 16)
+        elif value_token.kind == "int":
+            value = int(value_token.text)
+        elif value_token.kind == "string":
+            value = value_token.text[1:-1]
+        elif value_token.kind == "regex":
+            if op != "=~":
+                raise MatchExprError("regex values require the =~ operator")
+            try:
+                value = re.compile(value_token.text[1:-1])
+            except re.error as exc:
+                raise MatchExprError(f"bad regex: {exc}") from exc
+        else:
+            raise MatchExprError(
+                f"expected a value, found {value_token.text!r}"
+            )
+        if op == "=~":
+            if isinstance(value, str):
+                try:
+                    value = re.compile(value)
+                except re.error as exc:
+                    raise MatchExprError(f"bad regex: {exc}") from exc
+            if not isinstance(value, re.Pattern):
+                raise MatchExprError("=~ requires a regex or string value")
+        if op in _NUMERIC_CMPS and not isinstance(value, int):
+            raise MatchExprError(f"operator {op} requires an integer value")
+        if op in _NUMERIC_CMPS and field == "mnemonic":
+            raise MatchExprError("mnemonic only supports ==, != and =~")
+        return Comparison(field, op, value)
+
+
+def parse(source: str) -> Node:
+    """Parse a matcher expression into its AST."""
+    return _Parser(tokenize(source)).parse()
+
+
+def compile_matcher(source: str) -> Callable[[Instruction], bool]:
+    """Compile an expression into an ``Instruction -> bool`` predicate."""
+    ast = parse(source)
+    return ast.evaluate

@@ -1,0 +1,54 @@
+"""Patch-site matchers: which instructions get instrumented.
+
+``A1`` (all jmp/jcc) and ``A2`` (heap writes) are the two applications
+evaluated in the paper's Table 1; ``all`` patches every real instruction
+(the paper's limitation-L3 stress case).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.x86.flow import is_heap_write, is_patchable_jump
+from repro.x86.insn import Instruction
+
+Matcher = Callable[[Instruction], bool]
+
+
+def _is_real(insn: Instruction) -> bool:
+    return insn.mnemonic != "(bad)"
+
+
+def match_jumps(insn: Instruction) -> bool:
+    """A1: direct jmp/jcc instructions."""
+    return _is_real(insn) and is_patchable_jump(insn)
+
+
+def match_heap_writes(insn: Instruction) -> bool:
+    """A2: instructions that may write through heap pointers."""
+    return _is_real(insn) and is_heap_write(insn)
+
+
+def match_all(insn: Instruction) -> bool:
+    """Every decodable instruction (limitation L3 stress test)."""
+    return _is_real(insn)
+
+
+def match_calls(insn: Instruction) -> bool:
+    """Direct calls (useful for call-tracing applications)."""
+    return _is_real(insn) and insn.mnemonic == "call" and insn.is_direct_branch
+
+
+MATCHERS: dict[str, Matcher] = {
+    "jumps": match_jumps,
+    "heap-writes": match_heap_writes,
+    "calls": match_calls,
+    "all": match_all,
+}
+
+
+def select_sites(
+    instructions: list[Instruction], matcher: Matcher
+) -> list[Instruction]:
+    """All instructions selected by *matcher*, in address order."""
+    return [i for i in instructions if matcher(i)]

@@ -1,0 +1,262 @@
+"""The e9tool analogue: one-call instrumentation of an ELF binary, plus a
+command-line interface.
+
+``instrument_elf`` wires the pipeline together: linear disassembly ->
+matcher -> strategy S1 -> grouped emission, and returns the patched image
+with the paper's Table-1 statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+
+from repro.core.rewriter import RewriteOptions, RewriteResult, Rewriter
+from repro.core.strategy import PatchRequest, TacticToggles
+from repro.core.trampoline import Counter, Empty, Instrumentation
+from repro.elf.reader import ElfFile
+from repro.frontend.lineardisasm import disassemble_functions, disassemble_text
+from repro.frontend.matchers import MATCHERS, Matcher, select_sites
+
+
+@dataclass
+class InstrumentReport:
+    """Result bundle for an instrumentation run."""
+
+    result: RewriteResult
+    n_sites: int
+    counter_vaddr: int | None = None  # set when instrumentation="counter"
+
+    @property
+    def stats(self):
+        return self.result.stats
+
+    def summary(self) -> str:
+        s = self.result.stats
+        return (
+            f"{s} Size%={self.result.size_pct:.2f} "
+            f"mode={self.result.mode}"
+        )
+
+
+def instrument_elf(
+    data: bytes,
+    matcher: Matcher | str,
+    instrumentation: Instrumentation | str | None = None,
+    options: RewriteOptions | None = None,
+    *,
+    frontend: str = "linear",
+) -> InstrumentReport:
+    """Instrument every matched instruction of the binary *data*.
+
+    *matcher* may be a predicate or one of the named matchers
+    (``"jumps"``, ``"heap-writes"``, ``"calls"``, ``"all"``).
+    *instrumentation* may be an :class:`Instrumentation`, ``"empty"``, or
+    ``"counter"`` (a shared 64-bit counter placed in a fresh RW segment;
+    its address is reported in the result).
+    *frontend* selects the disassembly wrapper: ``"linear"`` (whole
+    ``.text`` sweep — the paper's prototype) or ``"symbols"``
+    (symbol-guided sweeps, required for binaries whose .text embeds data,
+    e.g. glibc's hand-written assembly).
+    """
+    if isinstance(matcher, str):
+        matcher = MATCHERS[matcher]
+
+    elf = ElfFile(data)
+    if frontend == "symbols":
+        instructions = disassemble_functions(elf)
+    elif frontend == "linear":
+        instructions = disassemble_text(elf)
+    else:
+        raise ValueError(f"unknown frontend {frontend!r}")
+    sites = select_sites(instructions, matcher)
+    rewriter = Rewriter(elf, instructions, options)
+
+    counter_vaddr: int | None = None
+    if instrumentation is None or instrumentation == "empty":
+        instrumentation = Empty()
+    elif instrumentation == "counter":
+        counter_vaddr = rewriter.add_runtime_data(4096)
+        instrumentation = Counter(counter_vaddr)
+    elif callable(instrumentation) and not isinstance(instrumentation,
+                                                      Instrumentation):
+        # A factory receiving the rewriter (for runtime code/data setup).
+        instrumentation = instrumentation(rewriter)
+
+    requests = [PatchRequest(insn=i, instrumentation=instrumentation) for i in sites]
+    result = rewriter.rewrite(requests)
+    return InstrumentReport(result=result, n_sites=len(sites),
+                            counter_vaddr=counter_vaddr)
+
+
+def instrument_elf_auto(
+    data: bytes,
+    matcher: Matcher | str,
+    instrumentation: Instrumentation | str | None = None,
+    options: RewriteOptions | None = None,
+    *,
+    max_mappings: int | None = None,
+) -> InstrumentReport:
+    """Like :func:`instrument_elf`, but auto-tunes the page-grouping
+    granularity M: doubling it until the loader's mapping count fits
+    under *max_mappings* (default: the Linux ``vm.max_map_count``
+    default), trading physical memory for mappings exactly as Section 4
+    describes.
+    """
+    from dataclasses import replace as _replace
+
+    from repro.core.grouping import DEFAULT_MAX_MAP_COUNT
+
+    limit = max_mappings if max_mappings is not None else DEFAULT_MAX_MAP_COUNT
+    base = options or RewriteOptions(mode="loader")
+    m = max(1, base.granularity)
+    while True:
+        report = instrument_elf(
+            data, matcher, instrumentation,
+            _replace(base, mode="loader", granularity=m),
+        )
+        grouping = report.result.grouping
+        if grouping is None or grouping.mapping_count <= limit or m >= 1024:
+            return report
+        m *= 2
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line interface: ``e9patch -M jumps -i empty in.elf out.elf``."""
+    parser = argparse.ArgumentParser(
+        prog="e9patch",
+        description="Static binary rewriting without control flow recovery "
+        "(E9Patch reproduction).",
+    )
+    parser.add_argument("input", help="input ELF binary")
+    parser.add_argument("output", help="patched output path")
+    parser.add_argument(
+        "-M", "--match", default="jumps",
+        help="patch-site matcher: a named matcher "
+        f"({'/'.join(sorted(MATCHERS))}) or an expression such as "
+        "'mnemonic == \"call\" and size >= 5' (default: jumps)",
+    )
+    parser.add_argument(
+        "-i", "--instrument", default="empty", choices=("empty", "counter"),
+        help="instrumentation body (default: empty)",
+    )
+    parser.add_argument(
+        "--template", metavar="FILE",
+        help="JSON trampoline template file (overrides -i); parameters "
+        "are bound with --template-arg",
+    )
+    parser.add_argument(
+        "--template-arg", action="append", default=[], metavar="NAME=INT",
+        help="bind a template parameter (repeatable); the special value "
+        "'alloc' reserves a fresh RW page and passes its address",
+    )
+    parser.add_argument(
+        "--stats-json", metavar="FILE",
+        help="write the patching statistics as JSON",
+    )
+    parser.add_argument(
+        "--mode", default="auto", choices=("auto", "phdr", "loader"),
+        help="emission mode (default: auto)",
+    )
+    parser.add_argument(
+        "--granularity", "-g", type=int, default=1, metavar="M",
+        help="page-grouping granularity in pages (default: 1)",
+    )
+    parser.add_argument(
+        "--no-grouping", action="store_true",
+        help="disable physical page grouping (naive 1:1 mapping)",
+    )
+    parser.add_argument(
+        "--no-t1", action="store_true", help="disable tactic T1 (padded jumps)"
+    )
+    parser.add_argument(
+        "--no-t2", action="store_true", help="disable tactic T2 (successor eviction)"
+    )
+    parser.add_argument(
+        "--no-t3", action="store_true", help="disable tactic T3 (neighbour eviction)"
+    )
+    parser.add_argument(
+        "--shared", action="store_true",
+        help="input is a shared object (positive offsets only; loader "
+        "installed via DT_INIT)",
+    )
+    parser.add_argument(
+        "--frontend", default="linear", choices=("linear", "symbols"),
+        help="disassembly frontend (symbols: per-function sweeps, for "
+        "binaries mixing data into .text)",
+    )
+    parser.add_argument(
+        "--library-path", metavar="PATH",
+        help="install path of the patched shared object (required with "
+        "--shared in loader mode; defaults to the output path)",
+    )
+    args = parser.parse_args(argv)
+
+    library_path = args.library_path
+    if args.shared and library_path is None:
+        library_path = args.output
+
+    options = RewriteOptions(
+        mode=args.mode,
+        grouping=not args.no_grouping,
+        granularity=args.granularity,
+        toggles=TacticToggles(
+            t1=not args.no_t1, t2=not args.no_t2, t3=not args.no_t3
+        ),
+        shared=args.shared,
+        library_path=library_path,
+    )
+    with open(args.input, "rb") as f:
+        data = f.read()
+
+    matcher: Matcher | str = args.match
+    if args.match not in MATCHERS:
+        from repro.frontend.match_expr import compile_matcher
+
+        matcher = compile_matcher(args.match)
+
+    instrumentation: object = args.instrument
+    if args.template:
+        from repro.core.templates import load_template
+
+        with open(args.template) as f:
+            template = load_template(f.read())
+
+        def factory(rewriter):
+            bound = {}
+            for item in args.template_arg:
+                name, _, value = item.partition("=")
+                if value == "alloc":
+                    bound[name] = rewriter.add_runtime_data(4096)
+                    print(f"{name} at {bound[name]:#x}")
+                else:
+                    bound[name] = int(value, 0)
+            return template.instantiate(**bound)
+
+        instrumentation = factory
+
+    report = instrument_elf(data, matcher, instrumentation, options,
+                            frontend=args.frontend)
+    if report.counter_vaddr is not None:
+        print(f"counter at {report.counter_vaddr:#x}")
+    if args.stats_json:
+        import json
+
+        stats = report.stats.row()
+        stats["size_pct"] = round(report.result.size_pct, 2)
+        stats["mode"] = report.result.mode
+        stats["failures"] = report.result.plan.failures
+        with open(args.stats_json, "w") as f:
+            json.dump(stats, f, indent=2)
+    with open(args.output, "wb") as f:
+        f.write(report.result.data)
+    print(report.summary())
+    if report.result.plan.failures:
+        print(f"warning: {len(report.result.plan.failures)} sites not patched",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""Low-fat pointer heap hardening (paper Section 6.3).
+
+Reimplements the LowFat scheme the paper uses for its binary
+heap-write hardening application: allocations are served from size-class
+regions at fixed virtual offsets, so ``base(p)`` (and hence a redzone
+check ``p - base(p) >= REDZONE``) is computable from the pointer's bit
+pattern alone.
+"""
+
+from repro.lowfat.lowfat import (
+    LowFatLayout,
+    LowFatAllocator,
+    REDZONE_SIZE,
+)
+from repro.lowfat.runtime import (
+    build_check_function,
+    lowfat_instrumentation,
+    install_lowfat_heap,
+)
+
+__all__ = [
+    "LowFatLayout",
+    "LowFatAllocator",
+    "REDZONE_SIZE",
+    "build_check_function",
+    "lowfat_instrumentation",
+    "install_lowfat_heap",
+]

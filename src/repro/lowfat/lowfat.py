@@ -1,0 +1,126 @@
+"""Low-fat pointer layout and allocator (Duck & Yap, CC'16 variant).
+
+The virtual address space is carved into equal-sized *regions*, one per
+allocation size class.  Region ``i`` serves only objects of size
+``sizes[i]``, each aligned to that size, so for any pointer ``p``:
+
+    region(p) = p // REGION_SIZE
+    size(p)   = sizes[region(p)]
+    base(p)   = (p // size(p)) * size(p)
+
+The paper's hardening enforces the redzone property
+``p - base(p) >= 16`` for every heap write (each object's first 16
+bytes are a redzone, so a pointer landing there must have overflowed
+from the previous object or underflowed the current one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+REDZONE_SIZE = 16
+
+# Region geometry: regions start at REGION_BASE; each is REGION_SIZE bytes.
+REGION_BASE = 0x20_0000_0000  # well away from image/stack/trampolines
+REGION_SIZE = 0x1_0000_0000  # 4 GiB per size class
+
+# Power-of-two size classes (payload + redzone live inside one object).
+SIZE_CLASSES = (32, 64, 128, 256, 512, 1024, 4096, 16384, 65536)
+
+
+@dataclass(frozen=True)
+class LowFatLayout:
+    """Address-space layout shared by the allocator and the checker."""
+
+    region_base: int = REGION_BASE
+    region_size: int = REGION_SIZE
+    sizes: tuple[int, ...] = SIZE_CLASSES
+
+    def region_start(self, index: int) -> int:
+        return self.region_base + index * self.region_size
+
+    def region_index(self, ptr: int) -> int | None:
+        offset = ptr - self.region_base
+        if offset < 0:
+            return None
+        index = offset // self.region_size
+        if index >= len(self.sizes):
+            return None
+        return index
+
+    def is_lowfat(self, ptr: int) -> bool:
+        return self.region_index(ptr) is not None
+
+    def size(self, ptr: int) -> int | None:
+        index = self.region_index(ptr)
+        return None if index is None else self.sizes[index]
+
+    def base(self, ptr: int) -> int | None:
+        """The object base address encoded in the pointer's bit pattern."""
+        size = self.size(ptr)
+        if size is None:
+            return None
+        return (ptr // size) * size
+
+    def class_for(self, request: int) -> int | None:
+        """Smallest size class fitting *request* bytes + the redzone."""
+        need = request + REDZONE_SIZE
+        for index, size in enumerate(self.sizes):
+            if size >= need:
+                return index
+        return None
+
+    def check_write(self, ptr: int) -> bool:
+        """The paper's redzone property: non-lowfat pointers pass (they
+        are not heap objects); lowfat pointers must not touch the first
+        REDZONE_SIZE bytes of their object."""
+        base = self.base(ptr)
+        if base is None:
+            return True
+        return ptr - base >= REDZONE_SIZE
+
+
+@dataclass
+class LowFatAllocator:
+    """Bump allocator over the size-class regions (the modified
+    ``liblowfat`` runtime of the paper, with redzones inserted before
+    each object's payload)."""
+
+    layout: LowFatLayout = field(default_factory=LowFatLayout)
+    cursors: dict[int, int] = field(default_factory=dict)
+    live: dict[int, int] = field(default_factory=dict)  # payload -> class
+    frees: dict[int, list[int]] = field(default_factory=dict)
+
+    def malloc(self, request: int) -> int:
+        """Allocate; returns the *payload* pointer (base + REDZONE_SIZE)."""
+        index = self.layout.class_for(request)
+        if index is None:
+            raise MemoryError(f"request {request} exceeds largest size class")
+        free_list = self.frees.get(index)
+        if free_list:
+            base = free_list.pop()
+        else:
+            size = self.layout.sizes[index]
+            cursor = self.cursors.get(index, self.layout.region_start(index))
+            if cursor % size:
+                cursor += size - cursor % size
+            base = cursor
+            self.cursors[index] = cursor + size
+            region_end = self.layout.region_start(index) + self.layout.region_size
+            if base + size > region_end:
+                raise MemoryError("size-class region exhausted")
+        payload = base + REDZONE_SIZE
+        self.live[payload] = index
+        return payload
+
+    def free(self, payload: int) -> None:
+        index = self.live.pop(payload, None)
+        if index is None:
+            raise ValueError(f"free of unknown pointer {payload:#x}")
+        self.frees.setdefault(index, []).append(payload - REDZONE_SIZE)
+
+    def usable_size(self, payload: int) -> int:
+        index = self.live.get(payload)
+        if index is None:
+            raise ValueError(f"unknown pointer {payload:#x}")
+        return self.layout.sizes[index] - REDZONE_SIZE

@@ -1,0 +1,37 @@
+"""Synthetic workload substrate.
+
+SPEC2006, the system binaries, and the browsers from the paper's Table 1
+are not available offline, so this package synthesizes ELF executables
+with matching *shape*: per-benchmark code size, patch-location density,
+instruction-length mix, and PIE-ness (profiles scaled down by a recorded
+factor).  Coverage percentages are emergent properties of the address
+space geometry, not hard-coded.
+"""
+
+from repro.synth.profiles import (
+    BROWSER_PROFILES,
+    SPEC_PROFILES,
+    SYSTEM_PROFILES,
+    ALL_PROFILES,
+    BinaryProfile,
+    profile_by_name,
+)
+from repro.synth.generator import (
+    SynthesisParams,
+    SyntheticBinary,
+    synthesize,
+    synthesize_profile,
+)
+
+__all__ = [
+    "BinaryProfile",
+    "SPEC_PROFILES",
+    "SYSTEM_PROFILES",
+    "BROWSER_PROFILES",
+    "ALL_PROFILES",
+    "profile_by_name",
+    "SynthesisParams",
+    "SyntheticBinary",
+    "synthesize_profile",
+    "synthesize",
+]

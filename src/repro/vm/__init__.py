@@ -1,0 +1,24 @@
+"""x86-64 subset interpreter with paged copy-on-write memory.
+
+The VM is the reproduction's "testbed": it executes original and
+rewritten binaries (including injected loader stubs, punned jumps and
+trampolines), counts dynamically executed instructions for the paper's
+Time% columns, and models physical page sharing so the page-grouping
+optimization's memory behaviour is observable.
+"""
+
+from repro.vm.memory import Memory, PROT_READ, PROT_WRITE, PROT_EXEC
+from repro.vm.cpu import Cpu, CpuState
+from repro.vm.machine import Machine, RunResult, load_elf
+
+__all__ = [
+    "Memory",
+    "PROT_READ",
+    "PROT_WRITE",
+    "PROT_EXEC",
+    "Cpu",
+    "CpuState",
+    "Machine",
+    "RunResult",
+    "load_elf",
+]

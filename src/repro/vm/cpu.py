@@ -1,0 +1,752 @@
+"""x86-64 subset interpreter.
+
+Covers the instruction repertoire produced by the synthetic workload
+generator, the rewriter's trampolines, and the injected loader stub —
+enough to run original and patched code side by side and count
+dynamically executed instructions.  Decoding reuses the exact
+:mod:`repro.x86.decoder`, so punned/overlapping encodings execute just
+as real hardware would interpret them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DecodeError, VmError, VmFault
+from repro.vm.memory import Memory
+from repro.x86 import prefixes as pfx
+from repro.x86.decoder import decode
+from repro.x86.insn import Instruction
+
+MASK64 = (1 << 64) - 1
+
+RAX, RCX, RDX, RBX, RSP, RBP, RSI, RDI = range(8)
+
+# Events returned by Cpu.step when control leaves straight-line execution.
+EV_SYSCALL = "syscall"
+EV_INT3 = "int3"
+EV_HLT = "hlt"
+
+
+def _sx(value: int, size: int) -> int:
+    """Sign-extend a *size*-byte value."""
+    bit = 1 << (size * 8 - 1)
+    return (value ^ bit) - bit
+
+
+_PARITY = bytes(bin(i).count("1") % 2 == 0 for i in range(256))
+
+
+@dataclass
+class CpuState:
+    """Architectural state: GPRs, rip, and the status flags we model."""
+
+    regs: list[int] = field(default_factory=lambda: [0] * 16)
+    rip: int = 0
+    cf: bool = False
+    zf: bool = True
+    sf: bool = False
+    of: bool = False
+    pf: bool = True
+    df: bool = False
+
+    def get(self, reg: int, size: int = 8) -> int:
+        mask = (1 << (size * 8)) - 1
+        return self.regs[reg] & mask
+
+    def get_high8(self, reg: int) -> int:
+        return (self.regs[reg] >> 8) & 0xFF
+
+    def set(self, reg: int, value: int, size: int = 8) -> None:
+        if size == 8:
+            self.regs[reg] = value & MASK64
+        elif size == 4:  # 32-bit writes zero the upper half
+            self.regs[reg] = value & 0xFFFFFFFF
+        else:
+            mask = (1 << (size * 8)) - 1
+            self.regs[reg] = (self.regs[reg] & ~mask) | (value & mask)
+
+    def set_high8(self, reg: int, value: int) -> None:
+        self.regs[reg] = (self.regs[reg] & ~0xFF00) | ((value & 0xFF) << 8)
+
+    def rflags(self) -> int:
+        return (
+            (1 << 1)
+            | (self.cf << 0)
+            | (self.pf << 2)
+            | (self.zf << 6)
+            | (self.sf << 7)
+            | (self.df << 10)
+            | (self.of << 11)
+        )
+
+    def set_rflags(self, value: int) -> None:
+        self.cf = bool(value & (1 << 0))
+        self.pf = bool(value & (1 << 2))
+        self.zf = bool(value & (1 << 6))
+        self.sf = bool(value & (1 << 7))
+        self.df = bool(value & (1 << 10))
+        self.of = bool(value & (1 << 11))
+
+
+class Cpu:
+    """Fetch/decode/execute loop over :class:`Memory`."""
+
+    def __init__(self, memory: Memory) -> None:
+        self.mem = memory
+        self.state = CpuState()
+        self.icount = 0
+        self.transfers = 0  # taken control transfers (pipeline redirects)
+        self._icache: dict[int, Instruction] = {}
+
+    # -- fetch/decode -----------------------------------------------------------
+
+    def flush_icache(self) -> None:
+        self._icache.clear()
+
+    def _fetch(self, rip: int) -> Instruction:
+        insn = self._icache.get(rip)
+        if insn is None:
+            window = self.mem.fetch(rip, 15)
+            if not window:
+                raise VmFault("fetch from unmapped/non-exec page", address=rip)
+            try:
+                insn = decode(window, 0, address=rip)
+            except DecodeError as exc:
+                raise VmError(f"undecodable instruction at {rip:#x}: {exc}") from exc
+            self._icache[rip] = insn
+        return insn
+
+    # -- operand helpers ----------------------------------------------------------
+
+    def _opsize(self, insn: Instruction) -> int:
+        if insn.rex is not None and insn.rex & pfx.REX_W:
+            return 8
+        if pfx.OPSIZE in insn.legacy_prefixes:
+            return 2
+        return 4
+
+    def _reg_operand(self, insn: Instruction, size: int,
+                     reg: int | None = None) -> tuple[str, int]:
+        """(kind, index) for a register operand, handling ah/ch/dh/bh."""
+        if reg is None:
+            reg = insn.reg or 0
+        if size == 1 and insn.rex is None and 4 <= reg <= 7:
+            return ("high8", reg - 4)
+        return ("reg", reg)
+
+    def _get_regop(self, insn: Instruction, size: int, reg: int) -> int:
+        kind, idx = self._reg_operand(insn, size, reg)
+        if kind == "high8":
+            return self.state.get_high8(idx)
+        return self.state.get(idx, size)
+
+    def _set_regop(self, insn: Instruction, size: int, reg: int, value: int) -> None:
+        kind, idx = self._reg_operand(insn, size, reg)
+        if kind == "high8":
+            self.state.set_high8(idx, value)
+        else:
+            self.state.set(idx, value, size)
+
+    def effective_address(self, insn: Instruction) -> int:
+        """Compute the memory operand's effective address."""
+        assert insn.modrm is not None
+        mod = insn.mod
+        rm = insn.modrm & 7
+        rex = insn.rex or 0
+        disp = insn.disp or 0
+        if mod == 0 and rm == 5:  # rip-relative
+            return (insn.end + disp) & MASK64
+        if rm == 4:  # SIB
+            assert insn.sib is not None
+            scale = insn.sib >> 6
+            index = (insn.sib >> 3) & 7
+            base = insn.sib & 7
+            if rex & pfx.REX_X:
+                index |= 8
+            if rex & pfx.REX_B:
+                base |= 8
+            addr = 0
+            if index != 4:  # rsp cannot be an index
+                addr += self.state.get(index) << scale
+            if (base & 7) == 5 and mod == 0:
+                pass  # disp32, no base
+            else:
+                addr += self.state.get(base)
+            return (addr + disp) & MASK64
+        if rex & pfx.REX_B:
+            rm |= 8
+        return (self.state.get(rm) + disp) & MASK64
+
+    def _read_rm(self, insn: Instruction, size: int) -> int:
+        if insn.mod == 3:
+            rm = insn.rm or 0
+            return self._get_regop(insn, size, rm)
+        return self.mem.read_uint(self.effective_address(insn), size)
+
+    def _write_rm(self, insn: Instruction, size: int, value: int) -> None:
+        if insn.mod == 3:
+            self._set_regop(insn, size, insn.rm or 0, value)
+        else:
+            self.mem.write_uint(self.effective_address(insn), value, size)
+
+    # -- flags -------------------------------------------------------------------
+
+    def _set_szp(self, result: int, size: int) -> None:
+        mask = (1 << (size * 8)) - 1
+        result &= mask
+        self.state.zf = result == 0
+        self.state.sf = bool(result >> (size * 8 - 1))
+        self.state.pf = _PARITY[result & 0xFF]
+
+    def _flags_add(self, a: int, b: int, size: int, carry_in: int = 0) -> int:
+        mask = (1 << (size * 8)) - 1
+        r = a + b + carry_in
+        res = r & mask
+        self.state.cf = r > mask
+        sign = 1 << (size * 8 - 1)
+        self.state.of = bool(~(a ^ b) & (a ^ res) & sign)
+        self._set_szp(res, size)
+        return res
+
+    def _flags_sub(self, a: int, b: int, size: int, borrow_in: int = 0) -> int:
+        mask = (1 << (size * 8)) - 1
+        r = a - b - borrow_in
+        res = r & mask
+        self.state.cf = r < 0
+        sign = 1 << (size * 8 - 1)
+        self.state.of = bool((a ^ b) & (a ^ res) & sign)
+        self._set_szp(res, size)
+        return res
+
+    def _flags_logic(self, result: int, size: int) -> int:
+        self.state.cf = False
+        self.state.of = False
+        self._set_szp(result, size)
+        return result & ((1 << (size * 8)) - 1)
+
+    def condition(self, cc: int) -> bool:
+        s = self.state
+        base = (
+            s.of, s.cf, s.zf, s.cf or s.zf,
+            s.sf, s.pf, s.sf != s.of, s.zf or (s.sf != s.of),
+        )[cc >> 1]
+        return base != bool(cc & 1)
+
+    # -- execution ------------------------------------------------------------------
+
+    def step(self) -> str | None:
+        """Execute one instruction; returns an event name or None."""
+        insn = self._fetch(self.state.rip)
+        self.icount += 1
+        next_rip = insn.end
+        event = self._execute(insn)
+        if event == "jumped":
+            return None
+        if event is not None:
+            self.state.rip = next_rip
+            return event
+        self.state.rip = next_rip
+        return None
+
+    def _alu(self, op: str, a: int, b: int, size: int) -> int | None:
+        s = self.state
+        if op == "add":
+            return self._flags_add(a, b, size)
+        if op == "adc":
+            return self._flags_add(a, b, size, int(s.cf))
+        if op == "sub":
+            return self._flags_sub(a, b, size)
+        if op == "sbb":
+            return self._flags_sub(a, b, size, int(s.cf))
+        if op == "cmp":
+            self._flags_sub(a, b, size)
+            return None
+        if op == "and":
+            return self._flags_logic(a & b, size)
+        if op == "or":
+            return self._flags_logic(a | b, size)
+        if op == "xor":
+            return self._flags_logic(a ^ b, size)
+        if op == "test":
+            self._flags_logic(a & b, size)
+            return None
+        raise VmError(f"unknown ALU op {op}")
+
+    _ALU_NAMES = ("add", "or", "adc", "sbb", "and", "sub", "xor", "cmp")
+
+    def _push(self, value: int, size: int = 8) -> None:
+        self.state.regs[RSP] = (self.state.regs[RSP] - size) & MASK64
+        self.mem.write_uint(self.state.regs[RSP], value, size)
+
+    def _pop(self, size: int = 8) -> int:
+        value = self.mem.read_uint(self.state.regs[RSP], size)
+        self.state.regs[RSP] = (self.state.regs[RSP] + size) & MASK64
+        return value
+
+    def _jump(self, target: int) -> str:
+        self.transfers += 1
+        self.state.rip = target & MASK64
+        return "jumped"
+
+    def _execute(self, insn: Instruction) -> str | None:  # noqa: C901
+        s = self.state
+        op = insn.opcode
+        rep = pfx.REP in insn.legacy_prefixes
+        repne = pfx.REPNE in insn.legacy_prefixes
+
+        if insn.opmap == 1:
+            return self._execute_0f(insn)
+        if insn.opmap != 0:
+            raise VmError(f"unsupported opcode map {insn.opmap} at {insn.address:#x}")
+
+        # -- ALU block 00-3D -------------------------------------------------
+        if op <= 0x3D and (op & 7) <= 5 and (op >> 3) <= 7:
+            name = self._ALU_NAMES[op >> 3]
+            kind = op & 7
+            if kind in (0, 1):  # r/m <- r/m OP reg
+                size = 1 if kind == 0 else self._opsize(insn)
+                a = self._read_rm(insn, size)
+                b = self._get_regop(insn, size, insn.reg or 0)
+                r = self._alu(name, a, b, size)
+                if r is not None:
+                    self._write_rm(insn, size, r)
+                return None
+            if kind in (2, 3):  # reg <- reg OP r/m
+                size = 1 if kind == 2 else self._opsize(insn)
+                a = self._get_regop(insn, size, insn.reg or 0)
+                b = self._read_rm(insn, size)
+                r = self._alu(name, a, b, size)
+                if r is not None:
+                    self._set_regop(insn, size, insn.reg or 0, r)
+                return None
+            # kind 4/5: AL/eAX OP imm
+            size = 1 if kind == 4 else self._opsize(insn)
+            a = self._get_regop(insn, size, RAX)
+            b = (insn.imm or 0) & ((1 << (size * 8)) - 1)
+            if kind == 5 and insn.imm_size < size:
+                b = _sx(insn.imm or 0, insn.imm_size) & ((1 << (size * 8)) - 1)
+            r = self._alu(name, a, b, size)
+            if r is not None:
+                self._set_regop(insn, size, RAX, r)
+            return None
+
+        # -- pushes/pops -----------------------------------------------------
+        if 0x50 <= op <= 0x57:
+            reg = (op & 7) | (8 if insn.rex and insn.rex & pfx.REX_B else 0)
+            self._push(s.get(reg))
+            return None
+        if 0x58 <= op <= 0x5F:
+            reg = (op & 7) | (8 if insn.rex and insn.rex & pfx.REX_B else 0)
+            s.set(reg, self._pop())
+            return None
+        if op == 0x68 or op == 0x6A:
+            self._push(_sx(insn.imm or 0, insn.imm_size) & MASK64)
+            return None
+
+        if op == 0x63:  # movsxd
+            size = self._opsize(insn)
+            value = self._read_rm(insn, 4)
+            s.set(insn.reg or 0, _sx(value, 4), size)
+            return None
+
+        if op in (0x69, 0x6B):  # imul reg, r/m, imm
+            size = self._opsize(insn)
+            a = _sx(self._read_rm(insn, size), size)
+            b = _sx(insn.imm or 0, insn.imm_size)
+            r = a * b
+            mask = (1 << (size * 8)) - 1
+            res = r & mask
+            s.cf = s.of = r != _sx(res, size)
+            self._set_szp(res, size)
+            self._set_regop(insn, size, insn.reg or 0, res)
+            return None
+
+        # -- jcc rel8 ---------------------------------------------------------
+        if 0x70 <= op <= 0x7F:
+            if self.condition(op & 0xF):
+                return self._jump(insn.target or 0)
+            return None
+
+        # -- group 1: 80/81/83 ---------------------------------------------------
+        if op in (0x80, 0x81, 0x83):
+            size = 1 if op == 0x80 else self._opsize(insn)
+            name = self._ALU_NAMES[insn.reg_raw or 0]
+            a = self._read_rm(insn, size)
+            b = _sx(insn.imm or 0, insn.imm_size) & ((1 << (size * 8)) - 1)
+            r = self._alu(name, a, b, size)
+            if r is not None:
+                self._write_rm(insn, size, r)
+            return None
+
+        if op in (0x84, 0x85):  # test
+            size = 1 if op == 0x84 else self._opsize(insn)
+            self._alu("test", self._read_rm(insn, size),
+                      self._get_regop(insn, size, insn.reg or 0), size)
+            return None
+        if op in (0x86, 0x87):  # xchg
+            size = 1 if op == 0x86 else self._opsize(insn)
+            a = self._read_rm(insn, size)
+            b = self._get_regop(insn, size, insn.reg or 0)
+            self._write_rm(insn, size, b)
+            self._set_regop(insn, size, insn.reg or 0, a)
+            return None
+
+        # -- mov -------------------------------------------------------------
+        if op in (0x88, 0x89):
+            size = 1 if op == 0x88 else self._opsize(insn)
+            self._write_rm(insn, size, self._get_regop(insn, size, insn.reg or 0))
+            return None
+        if op in (0x8A, 0x8B):
+            size = 1 if op == 0x8A else self._opsize(insn)
+            self._set_regop(insn, size, insn.reg or 0, self._read_rm(insn, size))
+            return None
+        if op == 0x8D:  # lea
+            size = self._opsize(insn)
+            s.set(insn.reg or 0, self.effective_address(insn), size)
+            return None
+        if op == 0x8F:  # pop r/m
+            self._write_rm(insn, 8, self._pop())
+            return None
+
+        if op == 0x90 and insn.rex is None:
+            return None  # nop
+        if 0x90 <= op <= 0x97:  # xchg rAX, reg
+            size = self._opsize(insn)
+            reg = (op & 7) | (8 if insn.rex and insn.rex & pfx.REX_B else 0)
+            a, b = s.get(RAX, size), s.get(reg, size)
+            s.set(RAX, b, size)
+            s.set(reg, a, size)
+            return None
+
+        if op == 0x98:  # cwde/cdqe
+            size = self._opsize(insn)
+            half = size // 2
+            s.set(RAX, _sx(s.get(RAX, half), half), size)
+            return None
+        if op == 0x99:  # cdq/cqo
+            size = self._opsize(insn)
+            value = _sx(s.get(RAX, size), size)
+            s.set(RDX, -1 if value < 0 else 0, size)
+            return None
+
+        if op == 0x9C:
+            self._push(s.rflags())
+            return None
+        if op == 0x9D:
+            s.set_rflags(self._pop())
+            return None
+
+        # -- string ops --------------------------------------------------------
+        if op in (0xA4, 0xA5, 0xAA, 0xAB, 0xAC, 0xAD):
+            return self._string_op(insn, rep or repne)
+
+        if op in (0xA8, 0xA9):  # test AL/eAX, imm
+            size = 1 if op == 0xA8 else self._opsize(insn)
+            self._alu("test", self._get_regop(insn, size, RAX),
+                      (insn.imm or 0) & ((1 << (size * 8)) - 1), size)
+            return None
+
+        if 0xB0 <= op <= 0xB7:  # mov r8, imm8
+            reg = (op & 7) | (8 if insn.rex and insn.rex & pfx.REX_B else 0)
+            self._set_regop(insn, 1, reg, insn.imm or 0)
+            return None
+        if 0xB8 <= op <= 0xBF:  # mov r, imm
+            size = self._opsize(insn)
+            reg = (op & 7) | (8 if insn.rex and insn.rex & pfx.REX_B else 0)
+            s.set(reg, insn.imm or 0, size)
+            return None
+
+        # -- shifts ------------------------------------------------------------
+        if op in (0xC0, 0xC1, 0xD0, 0xD1, 0xD2, 0xD3):
+            size = 1 if op in (0xC0, 0xD0, 0xD2) else self._opsize(insn)
+            if op in (0xC0, 0xC1):
+                count = (insn.imm or 0) & 0x3F
+            elif op in (0xD0, 0xD1):
+                count = 1
+            else:
+                count = s.get(RCX, 1) & (0x3F if size == 8 else 0x1F)
+            self._shift(insn, size, count)
+            return None
+
+        if op == 0xC2:
+            target = self._pop()
+            s.regs[RSP] = (s.regs[RSP] + (insn.imm or 0)) & MASK64
+            return self._jump(target)
+        if op == 0xC3:
+            return self._jump(self._pop())
+
+        if op in (0xC6, 0xC7):  # mov r/m, imm
+            size = 1 if op == 0xC6 else self._opsize(insn)
+            value = _sx(insn.imm or 0, insn.imm_size) & ((1 << (size * 8)) - 1)
+            self._write_rm(insn, size, value)
+            return None
+
+        if op == 0xC9:  # leave
+            s.regs[RSP] = s.regs[RBP]
+            s.regs[RBP] = self._pop()
+            return None
+
+        if op == 0xCC:
+            return EV_INT3
+
+        # -- loops --------------------------------------------------------------
+        if 0xE0 <= op <= 0xE3:
+            if op == 0xE3:
+                taken = s.get(RCX) == 0
+            else:
+                s.regs[RCX] = (s.regs[RCX] - 1) & MASK64
+                taken = s.regs[RCX] != 0
+                if op == 0xE0:
+                    taken = taken and not s.zf
+                elif op == 0xE1:
+                    taken = taken and s.zf
+            if taken:
+                return self._jump(insn.target or 0)
+            return None
+
+        if op == 0xE8:
+            self._push(insn.end)
+            return self._jump(insn.target or 0)
+        if op in (0xE9, 0xEB):
+            return self._jump(insn.target or 0)
+
+        if op == 0xF4:
+            return EV_HLT
+        if op == 0xF5:  # cmc
+            s.cf = not s.cf
+            return None
+        if op == 0xF8:  # clc
+            s.cf = False
+            return None
+        if op == 0xF9:  # stc
+            s.cf = True
+            return None
+        if op == 0xFC:  # cld
+            s.df = False
+            return None
+        if op == 0xFD:  # std
+            s.df = True
+            return None
+
+        if op in (0xF6, 0xF7):
+            return self._group3(insn)
+
+        if op == 0xFE:
+            size = 1
+            return self._incdec(insn, size)
+        if op == 0xFF:
+            reg = insn.reg_raw or 0
+            if reg in (0, 1):
+                return self._incdec(insn, self._opsize(insn))
+            if reg == 2:  # call r/m
+                target = self._read_rm(insn, 8)
+                self._push(insn.end)
+                return self._jump(target)
+            if reg == 4:  # jmp r/m
+                return self._jump(self._read_rm(insn, 8))
+            if reg == 6:  # push r/m
+                self._push(self._read_rm(insn, 8))
+                return None
+
+        raise VmError(
+            f"unimplemented opcode {op:#04x} ({insn.mnemonic}) at {insn.address:#x}"
+        )
+
+    def _incdec(self, insn: Instruction, size: int) -> None:
+        a = self._read_rm(insn, size)
+        cf = self.state.cf  # inc/dec preserve CF
+        if (insn.reg_raw or 0) == 0:
+            r = self._flags_add(a, 1, size)
+        else:
+            r = self._flags_sub(a, 1, size)
+        self.state.cf = cf
+        self._write_rm(insn, size, r)
+        return None
+
+    def _shift(self, insn: Instruction, size: int, count: int) -> None:
+        s = self.state
+        kind = insn.reg_raw or 0
+        bits = size * 8
+        mask = (1 << bits) - 1
+        a = self._read_rm(insn, size)
+        if count == 0:
+            return
+        if kind in (4, 6):  # shl/sal
+            r = (a << count) & mask
+            s.cf = bool((a >> (bits - count)) & 1) if count <= bits else False
+            s.of = bool((r >> (bits - 1)) ^ s.cf) if count == 1 else s.of
+        elif kind == 5:  # shr
+            r = a >> count
+            s.cf = bool((a >> (count - 1)) & 1) if count <= bits else False
+            s.of = bool(a >> (bits - 1)) if count == 1 else s.of
+        elif kind == 7:  # sar
+            sa = _sx(a, size)
+            r = (sa >> count) & mask
+            s.cf = bool((sa >> (count - 1)) & 1)
+            s.of = False if count == 1 else s.of
+        elif kind == 0:  # rol
+            count %= bits
+            r = ((a << count) | (a >> (bits - count))) & mask if count else a
+            s.cf = bool(r & 1)
+        elif kind == 1:  # ror
+            count %= bits
+            r = ((a >> count) | (a << (bits - count))) & mask if count else a
+            s.cf = bool(r >> (bits - 1))
+        else:
+            raise VmError(f"unimplemented shift kind {kind}")
+        if kind in (4, 5, 6, 7):
+            self._set_szp(r, size)
+        self._write_rm(insn, size, r)
+
+    def _group3(self, insn: Instruction) -> None:
+        size = 1 if insn.opcode == 0xF6 else self._opsize(insn)
+        kind = insn.reg_raw or 0
+        s = self.state
+        mask = (1 << (size * 8)) - 1
+        if kind in (0, 1):  # test r/m, imm
+            self._alu("test", self._read_rm(insn, size),
+                      (insn.imm or 0) & mask, size)
+            return None
+        if kind == 2:  # not
+            self._write_rm(insn, size, ~self._read_rm(insn, size) & mask)
+            return None
+        if kind == 3:  # neg
+            a = self._read_rm(insn, size)
+            r = self._flags_sub(0, a, size)
+            s.cf = a != 0
+            self._write_rm(insn, size, r)
+            return None
+        if kind == 4:  # mul
+            a = s.get(RAX, size)
+            b = self._read_rm(insn, size)
+            r = a * b
+            lo = r & mask
+            hi = (r >> (size * 8)) & mask
+            s.set(RAX, lo, size)
+            if size == 1:
+                s.set_high8(RAX, hi)
+            else:
+                s.set(RDX, hi, size)
+            s.cf = s.of = hi != 0
+            return None
+        if kind == 5:  # imul (one-operand)
+            a = _sx(s.get(RAX, size), size)
+            b = _sx(self._read_rm(insn, size), size)
+            r = a * b
+            lo = r & mask
+            hi = (r >> (size * 8)) & mask
+            s.set(RAX, lo, size)
+            if size == 1:
+                s.set_high8(RAX, hi)
+            else:
+                s.set(RDX, hi, size)
+            s.cf = s.of = r != _sx(lo, size)
+            return None
+        if kind in (6, 7):  # div / idiv
+            b = self._read_rm(insn, size)
+            if b == 0:
+                raise VmError(f"division by zero at {insn.address:#x}")
+            if size == 1:
+                a = s.get(RAX, 2)
+            else:
+                a = (s.get(RDX, size) << (size * 8)) | s.get(RAX, size)
+            if kind == 7:
+                a = _sx(a, size * 2) if size > 1 else _sx(a, 2)
+                b = _sx(b, size)
+                q = int(a / b)
+                rem = a - q * b
+            else:
+                q, rem = divmod(a, b)
+            if size == 1:
+                s.set(RAX, q & 0xFF, 1)
+                s.set_high8(RAX, rem)
+            else:
+                s.set(RAX, q & mask, size)
+                s.set(RDX, rem & mask, size)
+            return None
+        raise VmError(f"unimplemented group3 kind {kind}")
+
+    def _string_op(self, insn: Instruction, rep: bool) -> None:
+        s = self.state
+        op = insn.opcode
+        size = {0xA4: 1, 0xA5: None, 0xAA: 1, 0xAB: None,
+                0xAC: 1, 0xAD: None}[op]
+        if size is None:
+            size = self._opsize(insn)
+        step = -size if s.df else size
+
+        def one() -> None:
+            if op in (0xA4, 0xA5):  # movs
+                data = self.mem.read_uint(s.regs[RSI], size)
+                self.mem.write_uint(s.regs[RDI], data, size)
+                s.regs[RSI] = (s.regs[RSI] + step) & MASK64
+                s.regs[RDI] = (s.regs[RDI] + step) & MASK64
+            elif op in (0xAA, 0xAB):  # stos
+                self.mem.write_uint(s.regs[RDI], s.get(RAX, size), size)
+                s.regs[RDI] = (s.regs[RDI] + step) & MASK64
+            else:  # lods
+                s.set(RAX, self.mem.read_uint(s.regs[RSI], size), size)
+                s.regs[RSI] = (s.regs[RSI] + step) & MASK64
+
+        if rep:
+            while s.regs[RCX] != 0:
+                one()
+                s.regs[RCX] = (s.regs[RCX] - 1) & MASK64
+        else:
+            one()
+        return None
+
+    def _execute_0f(self, insn: Instruction) -> str | None:
+        s = self.state
+        op = insn.opcode
+        if op == 0x05:
+            return EV_SYSCALL
+        if op == 0x0B:
+            raise VmError(f"ud2 executed at {insn.address:#x}")
+        if op == 0x1F or op == 0x0D or (0x18 <= op <= 0x1E):
+            return None  # long nop / hints
+        if 0x40 <= op <= 0x4F:  # cmovcc
+            size = self._opsize(insn)
+            if self.condition(op & 0xF):
+                self._set_regop(insn, size, insn.reg or 0, self._read_rm(insn, size))
+            elif size == 4:
+                s.set(insn.reg or 0, s.get(insn.reg or 0, 4), 4)
+            return None
+        if 0x80 <= op <= 0x8F:  # jcc rel32
+            if self.condition(op & 0xF):
+                return self._jump(insn.target or 0)
+            return None
+        if 0x90 <= op <= 0x9F:  # setcc
+            self._write_rm(insn, 1, int(self.condition(op & 0xF)))
+            return None
+        if op == 0xAF:  # imul reg, r/m
+            size = self._opsize(insn)
+            a = _sx(self._get_regop(insn, size, insn.reg or 0), size)
+            b = _sx(self._read_rm(insn, size), size)
+            r = a * b
+            mask = (1 << (size * 8)) - 1
+            res = r & mask
+            s.cf = s.of = r != _sx(res, size)
+            self._set_szp(res, size)
+            self._set_regop(insn, size, insn.reg or 0, res)
+            return None
+        if op in (0xB6, 0xB7):  # movzx
+            src_size = 1 if op == 0xB6 else 2
+            size = self._opsize(insn)
+            s.set(insn.reg or 0, self._read_rm(insn, src_size), size)
+            return None
+        if op in (0xBE, 0xBF):  # movsx
+            src_size = 1 if op == 0xBE else 2
+            size = self._opsize(insn)
+            s.set(insn.reg or 0, _sx(self._read_rm(insn, src_size), src_size), size)
+            return None
+        if 0xC8 <= op <= 0xCF:  # bswap
+            reg = (op & 7) | (8 if insn.rex and insn.rex & pfx.REX_B else 0)
+            size = self._opsize(insn)
+            value = s.get(reg, size).to_bytes(size, "little")
+            s.set(reg, int.from_bytes(value, "big"), size)
+            return None
+        raise VmError(
+            f"unimplemented 0F opcode {op:#04x} ({insn.mnemonic}) at {insn.address:#x}"
+        )

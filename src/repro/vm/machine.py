@@ -1,0 +1,313 @@
+"""Whole-program execution: ELF loading, syscalls, signals, accounting.
+
+The :class:`Machine` runs static executables produced by
+:mod:`repro.elf.builder`, :mod:`repro.synth`, or the rewriter — including
+loader-mode outputs, whose injected stub performs real ``open``/``mmap``/
+``close`` syscalls against the VM.  ``int3`` traps model the paper's B0
+baseline: the handler emulates the displaced instruction at a
+configurable many-instruction cost, reproducing the kernel round-trip
+penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import VmError
+from repro.elf import constants as elfc
+from repro.elf.reader import ElfFile
+from repro.vm.cpu import EV_HLT, EV_INT3, EV_SYSCALL, MASK64, Cpu
+from repro.vm.memory import (
+    PAGE_SIZE,
+    Memory,
+    PROT_EXEC,
+    PROT_READ,
+    PROT_WRITE,
+)
+
+STACK_TOP = 0x7FFF_FFFF_E000
+STACK_SIZE = 1 << 20
+
+# Cost (in instruction units) of one SIGTRAP kernel round-trip, modelling
+# the paper's "orders of magnitude" slower B0 baseline.
+DEFAULT_TRAP_COST = 3000
+
+
+@dataclass
+class RunResult:
+    """Observable outcome of a VM run."""
+
+    exit_code: int | None
+    stdout: bytes
+    instructions: int
+    cost: int  # instructions + trap penalties
+    transfers: int = 0  # taken control transfers
+    traps: int = 0
+    reason: str = "exit"
+
+    @property
+    def observable(self) -> tuple[int | None, bytes]:
+        """The behaviour tuple compared in differential tests."""
+        return (self.exit_code, self.stdout)
+
+    def weighted_cost(self, transfer_weight: int = 2) -> int:
+        """Cost with taken branches charged extra, approximating the
+        pipeline-redirect penalty of the rewriter's trampoline jumps."""
+        return self.cost + transfer_weight * self.transfers
+
+
+def load_elf(mem: Memory, data: bytes, *, base: int = 0) -> ElfFile:
+    """Map an ELF image's PT_LOAD segments into VM memory."""
+    elf = ElfFile(data)
+    for phdr in elf.phdrs:
+        if phdr.type != elfc.PT_LOAD:
+            continue
+        prot = 0
+        if phdr.flags & elfc.PF_R:
+            prot |= PROT_READ
+        if phdr.flags & elfc.PF_W:
+            prot |= PROT_WRITE
+        if phdr.flags & elfc.PF_X:
+            prot |= PROT_EXEC
+        vaddr = base + phdr.vaddr
+        page_lo = vaddr & ~(PAGE_SIZE - 1)
+        file_lo = phdr.offset & ~(PAGE_SIZE - 1)
+        span = vaddr + phdr.memsz - page_lo
+        mem.map_file(page_lo, span, prot, data, file_lo)
+        # .bss portion (memsz > filesz): zero-fill beyond the file bytes.
+        if phdr.memsz > phdr.filesz:
+            zero_lo = vaddr + phdr.filesz
+            zero_hi = vaddr + phdr.memsz
+            # Only whole trailing pages need fresh anonymous frames; the
+            # partial page is fixed up by an explicit write of zeros.
+            first_full = (zero_lo + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+            if first_full < zero_hi:
+                mem.map_anonymous(first_full,
+                                  ((zero_hi - first_full + PAGE_SIZE - 1)
+                                   // PAGE_SIZE) * PAGE_SIZE, prot)
+            if zero_lo < first_full:
+                writable_fix = min(first_full, zero_hi)
+                saved = mem.pages[zero_lo // PAGE_SIZE]
+                mem.pages[zero_lo // PAGE_SIZE] = (saved[0], saved[1] | PROT_WRITE)
+                mem.write(zero_lo, b"\x00" * (writable_fix - zero_lo))
+                mem.pages[zero_lo // PAGE_SIZE] = (
+                    mem.pages[zero_lo // PAGE_SIZE][0], saved[1])
+    return elf
+
+
+@dataclass
+class TrapHandler:
+    """B0 emulation record: at this site, execute *insn_bytes* (the
+    original displaced instruction) plus optional instrumentation."""
+
+    insn_bytes: bytes
+    counter_vaddr: int | None = None
+
+
+class Machine:
+    """A loaded program plus the syscall/signal environment."""
+
+    def __init__(self, elf_bytes: bytes, *, trap_cost: int = DEFAULT_TRAP_COST,
+                 max_instructions: int = 50_000_000,
+                 stdin: bytes = b"") -> None:
+        self.mem = Memory()
+        self.elf_bytes = elf_bytes
+        self.elf = load_elf(self.mem, elf_bytes)
+        self.cpu = Cpu(self.mem)
+        self.trap_cost = trap_cost
+        self.max_instructions = max_instructions
+        self.stdin = bytes(stdin)
+        self._stdin_pos = 0
+        self.stdout = bytearray()
+        self.exit_code: int | None = None
+        self.traps = 0
+        self.trap_cost_total = 0
+        self.trap_handlers: dict[int, TrapHandler] = {}
+        self._fds: dict[int, bytes] = {}
+        self._next_fd = 3
+        self.syscall_hooks: dict[int, callable] = {}
+
+        # Stack.
+        self.mem.map_anonymous(STACK_TOP - STACK_SIZE, STACK_SIZE,
+                               PROT_READ | PROT_WRITE)
+        # Minimal SysV entry stack: argc=0, argv NULL, envp NULL.
+        sp = STACK_TOP - 64
+        self.mem.write_u64(sp, 0)
+        self.mem.write_u64(sp + 8, 0)
+        self.mem.write_u64(sp + 16, 0)
+        self.cpu.state.regs[4] = sp  # rsp
+        self.cpu.state.rip = self.elf.entry
+
+    # -- B0 support ---------------------------------------------------------------
+
+    def register_trap(self, vaddr: int, handler: TrapHandler) -> None:
+        self.trap_handlers[vaddr] = handler
+
+    # -- syscalls ------------------------------------------------------------------
+
+    def _sys_open(self, path_ptr: int) -> int:
+        raw = self.mem.read(path_ptr, 64)
+        path = raw.split(b"\x00", 1)[0].decode()
+        if path == "/proc/self/exe":
+            fd = self._next_fd
+            self._next_fd += 1
+            self._fds[fd] = self.elf_bytes
+            return fd
+        return -2  # ENOENT
+
+    def _sys_mmap(self, addr: int, length: int, prot: int, flags: int,
+                  fd: int, offset: int) -> int:
+        vm_prot = 0
+        if prot & elfc.PROT_READ:
+            vm_prot |= PROT_READ
+        if prot & elfc.PROT_WRITE:
+            vm_prot |= PROT_WRITE
+        if prot & elfc.PROT_EXEC:
+            vm_prot |= PROT_EXEC
+        length = (length + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+        if flags & elfc.MAP_ANONYMOUS:
+            if not flags & elfc.MAP_FIXED:
+                addr = self._find_mmap_region(length)
+            self.mem.map_anonymous(addr, length, vm_prot)
+        else:
+            blob = self._fds.get(fd)
+            if blob is None:
+                return -9  # EBADF
+            if not flags & elfc.MAP_FIXED:
+                addr = self._find_mmap_region(length)
+            self.mem.map_file(addr, length, vm_prot, blob, offset)
+        self.cpu.flush_icache()
+        return addr
+
+    def _find_mmap_region(self, length: int) -> int:
+        addr = 0x7F00_0000_0000
+        while any(self.mem.is_mapped(addr + i * PAGE_SIZE)
+                  for i in range(length // PAGE_SIZE)):
+            addr += length + PAGE_SIZE
+        return addr
+
+    def _handle_syscall(self) -> bool:
+        """Returns False when the program exited."""
+        s = self.cpu.state
+        nr = s.regs[0]
+        hook = self.syscall_hooks.get(nr)
+        if hook is not None:
+            s.regs[0] = hook(self) & MASK64
+            return True
+        a1, a2, a3 = s.regs[7], s.regs[6], s.regs[2]  # rdi, rsi, rdx
+        a4, a5, a6 = s.regs[10], s.regs[8], s.regs[9]  # r10, r8, r9
+        if nr == elfc.SYS_READ:
+            if a1 == 0:  # stdin
+                chunk = self.stdin[self._stdin_pos : self._stdin_pos + a3]
+                self._stdin_pos += len(chunk)
+                if chunk:
+                    self.mem.write(a2, chunk)
+                s.regs[0] = len(chunk)
+            else:
+                s.regs[0] = (-9) & MASK64  # EBADF
+        elif nr == elfc.SYS_WRITE:
+            data = self.mem.read(a2, a3) if a3 else b""
+            if a1 in (1, 2):
+                self.stdout += data
+            s.regs[0] = a3
+        elif nr == elfc.SYS_EXIT or nr == 231:  # exit / exit_group
+            self.exit_code = a1 & 0xFF
+            return False
+        elif nr == elfc.SYS_OPEN:
+            s.regs[0] = self._sys_open(a1) & MASK64
+        elif nr == elfc.SYS_CLOSE:
+            self._fds.pop(a1, None)
+            s.regs[0] = 0
+        elif nr == elfc.SYS_MMAP:
+            s.regs[0] = self._sys_mmap(a1, a2, a3, a4, a5, a6) & MASK64
+        elif nr == elfc.SYS_MPROTECT:
+            s.regs[0] = 0
+        else:
+            raise VmError(f"unimplemented syscall {nr}")
+        return True
+
+    # -- signals ----------------------------------------------------------------------
+
+    def _handle_int3(self) -> None:
+        """SIGTRAP: the B0 baseline.  rip points *after* the 0xCC byte."""
+        site = self.cpu.state.rip - 1
+        handler = self.trap_handlers.get(site)
+        if handler is None:
+            raise VmError(f"unexpected int3 at {site:#x}")
+        self.traps += 1
+        self.trap_cost_total += self.trap_cost
+        if handler.counter_vaddr is not None:
+            self.mem.write_u64(
+                handler.counter_vaddr,
+                self.mem.read_u64(handler.counter_vaddr) + 1,
+            )
+        # Emulate the displaced instruction out-of-line, then resume.
+        scratch = 0x7FE0_0000_0000
+        if not self.mem.is_mapped(scratch):
+            self.mem.map_anonymous(scratch, PAGE_SIZE,
+                                   PROT_READ | PROT_WRITE | PROT_EXEC)
+        code = handler.insn_bytes + b"\xf4"  # hlt fence
+        self.mem.write(scratch, code)
+        self.cpu.flush_icache()
+        from repro.x86.decoder import decode as _decode
+
+        insn = _decode(handler.insn_bytes, 0, address=site)
+        if insn.is_direct_branch or insn.is_ret:
+            # Branches are emulated positionally: re-decode at the original
+            # address and execute through the CPU on a patched-back image.
+            self.cpu.state.rip = site
+            window = handler.insn_bytes
+            from repro.x86.decoder import decode as dec
+
+            original = dec(window, 0, address=site)
+            event = self.cpu._execute(original)
+            if event != "jumped":
+                self.cpu.state.rip = original.end
+            self.cpu.icount += 1
+            return
+        saved_rip = site + len(handler.insn_bytes)
+        self.cpu.state.rip = scratch
+        # Execute the relocated copy; memory operands must not be
+        # rip-relative for this simple emulation (B0 is a fallback).
+        event = self.cpu.step()
+        if event not in (None,):
+            raise VmError(f"unexpected event {event} in trap emulation")
+        self.cpu.state.rip = saved_rip
+
+    # -- run loop -------------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        reason = "exit"
+        try:
+            while self.cpu.icount < self.max_instructions:
+                event = self.cpu.step()
+                if event is None:
+                    continue
+                if event == EV_SYSCALL:
+                    if not self._handle_syscall():
+                        break
+                elif event == EV_INT3:
+                    self._handle_int3()
+                elif event == EV_HLT:
+                    reason = "hlt"
+                    break
+                else:
+                    raise VmError(f"unhandled event {event}")
+            else:
+                reason = "budget"
+        except VmError:
+            raise
+        return RunResult(
+            exit_code=self.exit_code,
+            stdout=bytes(self.stdout),
+            instructions=self.cpu.icount,
+            cost=self.cpu.icount + self.trap_cost_total,
+            transfers=self.cpu.transfers,
+            traps=self.traps,
+            reason=reason,
+        )
+
+
+def run_elf(data: bytes, **kwargs) -> RunResult:
+    """Convenience: load and run an ELF image to completion."""
+    return Machine(data, **kwargs).run()

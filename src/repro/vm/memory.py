@@ -1,0 +1,179 @@
+"""Paged virtual memory with copy-on-write file-backed frames.
+
+Pages map to *frames*.  A frame is either anonymous (private bytearray)
+or a lazy view into a backing blob (file-backed, shared until written).
+Mapping the same file page at several virtual addresses therefore shares
+one physical frame — exactly the mechanism physical page grouping
+exploits — and :meth:`Memory.physical_frames` reports the real footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import VmFault
+
+PAGE_SIZE = 4096
+PAGE_MASK = PAGE_SIZE - 1
+
+PROT_READ = 1
+PROT_WRITE = 2
+PROT_EXEC = 4
+
+
+_ZERO_PAGE = bytes(PAGE_SIZE)
+
+
+@dataclass
+class Frame:
+    """One physical page frame.
+
+    Three states: lazy zero page (``backing is None, private is None`` —
+    all anonymous pages share it, like the kernel's zero page),
+    file-backed CoW view, or private (materialized on first write).
+    """
+
+    backing: bytes | None  # file blob (shared) or None
+    offset: int = 0
+    private: bytearray | None = None
+
+    def data(self) -> bytes | bytearray:
+        if self.private is not None:
+            return self.private
+        if self.backing is None:
+            return _ZERO_PAGE
+        chunk = self.backing[self.offset : self.offset + PAGE_SIZE]
+        if len(chunk) < PAGE_SIZE:
+            chunk = chunk + b"\x00" * (PAGE_SIZE - len(chunk))
+        return chunk
+
+    def materialize(self) -> bytearray:
+        if self.private is None:
+            self.private = bytearray(self.data())
+            self.backing = None
+        return self.private
+
+    def key(self) -> object:
+        """Identity of the physical storage (for footprint accounting)."""
+        if self.private is not None:
+            return id(self.private)
+        if self.backing is None:
+            return "zero"
+        return (id(self.backing), self.offset)
+
+
+class Memory:
+    """Sparse paged address space."""
+
+    def __init__(self) -> None:
+        self.pages: dict[int, tuple[Frame, int]] = {}  # vpage -> (frame, prot)
+
+    # -- mapping -----------------------------------------------------------
+
+    def map_anonymous(self, vaddr: int, size: int, prot: int) -> None:
+        self._check_aligned(vaddr)
+        for vp in range(vaddr // PAGE_SIZE, (vaddr + size + PAGE_MASK) // PAGE_SIZE):
+            self.pages[vp] = (Frame(backing=None), prot)
+
+    def map_file(self, vaddr: int, size: int, prot: int, blob: bytes,
+                 offset: int) -> None:
+        """Map *size* bytes of *blob* at *vaddr* (page-granular, CoW).
+
+        Frames created from the same (blob, offset) pair share physical
+        storage until written.
+        """
+        self._check_aligned(vaddr)
+        self._check_aligned(offset)
+        npages = (size + PAGE_MASK) // PAGE_SIZE
+        for i in range(npages):
+            frame = Frame(backing=blob, offset=offset + i * PAGE_SIZE)
+            self.pages[vaddr // PAGE_SIZE + i] = (frame, prot)
+
+    def protect(self, vaddr: int, size: int, prot: int) -> None:
+        for vp in range(vaddr // PAGE_SIZE, (vaddr + size + PAGE_MASK) // PAGE_SIZE):
+            if vp in self.pages:
+                frame, _ = self.pages[vp]
+                self.pages[vp] = (frame, prot)
+
+    @staticmethod
+    def _check_aligned(value: int) -> None:
+        if value & PAGE_MASK:
+            raise VmFault(f"unaligned mapping request {value:#x}")
+
+    def is_mapped(self, vaddr: int) -> bool:
+        return (vaddr // PAGE_SIZE) in self.pages
+
+    # -- access -----------------------------------------------------------------
+
+    def _frame(self, vaddr: int, prot: int) -> tuple[Frame, int]:
+        vp, off = divmod(vaddr, PAGE_SIZE)
+        entry = self.pages.get(vp)
+        if entry is None:
+            raise VmFault("unmapped page", address=vaddr)
+        frame, page_prot = entry
+        if prot & ~page_prot:
+            raise VmFault("permission denied", address=vaddr)
+        return frame, off
+
+    def read(self, vaddr: int, size: int, prot: int = PROT_READ) -> bytes:
+        out = bytearray()
+        while size > 0:
+            frame, off = self._frame(vaddr, prot)
+            take = min(size, PAGE_SIZE - off)
+            out += frame.data()[off : off + take]
+            vaddr += take
+            size -= take
+        return bytes(out)
+
+    def write(self, vaddr: int, data: bytes) -> None:
+        pos = 0
+        while pos < len(data):
+            frame, off = self._frame(vaddr + pos, PROT_WRITE)
+            take = min(len(data) - pos, PAGE_SIZE - off)
+            frame.materialize()[off : off + take] = data[pos : pos + take]
+            pos += take
+
+    def fetch(self, vaddr: int, size: int) -> bytes:
+        """Instruction fetch (requires PROT_EXEC).
+
+        The window is truncated at the first unmapped or non-executable
+        page: like hardware, fetching must not fault when the
+        instruction itself ends before the boundary.  The *caller*
+        faults if the truncated window cannot hold its instruction.
+        """
+        out = bytearray()
+        while size > 0 and self.is_mapped(vaddr):
+            entry = self.pages[vaddr // PAGE_SIZE]
+            frame, prot = entry
+            if not prot & PROT_EXEC:
+                break
+            off = vaddr % PAGE_SIZE
+            take = min(size, PAGE_SIZE - off)
+            out += frame.data()[off : off + take]
+            vaddr += take
+            size -= take
+        return bytes(out)
+
+    # -- integer helpers -------------------------------------------------------
+
+    def read_u64(self, vaddr: int) -> int:
+        return int.from_bytes(self.read(vaddr, 8), "little")
+
+    def write_u64(self, vaddr: int, value: int) -> None:
+        self.write(vaddr, (value & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little"))
+
+    def read_uint(self, vaddr: int, size: int) -> int:
+        return int.from_bytes(self.read(vaddr, size), "little")
+
+    def write_uint(self, vaddr: int, value: int, size: int) -> None:
+        mask = (1 << (size * 8)) - 1
+        self.write(vaddr, (value & mask).to_bytes(size, "little"))
+
+    # -- accounting ------------------------------------------------------------
+
+    def physical_frames(self) -> int:
+        """Number of distinct physical frames currently referenced."""
+        return len({frame.key() for frame, _ in self.pages.values()})
+
+    def mapped_pages(self) -> int:
+        return len(self.pages)

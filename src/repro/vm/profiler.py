@@ -1,0 +1,77 @@
+"""Execution profiling over the VM: instruction mix and hot sites.
+
+Used by the evaluation to characterize workloads (how jump/store-dense a
+kernel is) and by tests to verify that instrumented runs execute the
+expected extra trampoline instructions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, field
+
+from repro.vm.machine import Machine, RunResult
+
+
+@dataclass
+class ProfileResult:
+    """A run plus its dynamic instruction statistics."""
+
+    run: RunResult
+    mnemonics: TallyCounter = field(default_factory=TallyCounter)
+    site_counts: TallyCounter = field(default_factory=TallyCounter)
+
+    @property
+    def total(self) -> int:
+        return sum(self.mnemonics.values())
+
+    def fraction(self, *names: str) -> float:
+        """Dynamic fraction of instructions with the given mnemonics."""
+        if not self.total:
+            return 0.0
+        return sum(self.mnemonics[n] for n in names) / self.total
+
+    @property
+    def branch_fraction(self) -> float:
+        jumps = [m for m in self.mnemonics
+                 if m == "jmp" or (m.startswith("j") and len(m) <= 4)]
+        return self.fraction(*jumps)
+
+    @property
+    def store_fraction(self) -> float:
+        """Approximate store density (mov-family only; exact accounting
+        would need operand inspection per step)."""
+        return self.fraction("mov", "stosb", "stosd", "movsb", "movsd")
+
+    def hottest(self, n: int = 10) -> list[tuple[int, int]]:
+        """(address, count) of the most-executed instruction sites."""
+        return self.site_counts.most_common(n)
+
+
+class ProfilingMachine(Machine):
+    """Machine variant that tallies every executed instruction."""
+
+    def __init__(self, elf_bytes: bytes, **kwargs) -> None:
+        super().__init__(elf_bytes, **kwargs)
+        self.mnemonics: TallyCounter = TallyCounter()
+        self.site_counts: TallyCounter = TallyCounter()
+        original_step = self.cpu.step
+
+        def counting_step():
+            rip = self.cpu.state.rip
+            insn = self.cpu._fetch(rip)
+            self.mnemonics[insn.mnemonic] += 1
+            self.site_counts[rip] += 1
+            return original_step()
+
+        self.cpu.step = counting_step
+
+    def profile(self) -> ProfileResult:
+        run = self.run()
+        return ProfileResult(run=run, mnemonics=self.mnemonics,
+                             site_counts=self.site_counts)
+
+
+def profile_elf(data: bytes, **kwargs) -> ProfileResult:
+    """Run *data* to completion with full dynamic profiling."""
+    return ProfilingMachine(data, **kwargs).profile()

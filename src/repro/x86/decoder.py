@@ -1,0 +1,344 @@
+"""Exact x86-64 instruction length decoder.
+
+Implements the Intel encoding grammar for 64-bit mode: legacy prefixes,
+REX, VEX (C4/C5), EVEX (62), the one/two/three-byte opcode maps, ModRM,
+SIB, displacement, and immediates.  Lengths are exact; the test suite
+validates against ``objdump`` on compiler output.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DecodeError
+from repro.x86 import prefixes as pfx
+from repro.x86 import tables
+from repro.x86.insn import DecodedRegion, Instruction
+from repro.x86.tables import (
+    F_GROUP_WRITE,
+    F_INVALID64,
+    F_STRING_WRITE,
+    F_WRITES_RM,
+    Imm,
+    OpSpec,
+)
+
+MAX_INSN_LEN = 15
+
+_GRP1_NAMES = ("add", "or", "adc", "sbb", "and", "sub", "xor", "cmp")
+_GRP2_NAMES = ("rol", "ror", "rcl", "rcr", "shl", "shr", "sal", "sar")
+_GRP3_NAMES = ("test", "test", "not", "neg", "mul", "imul", "div", "idiv")
+_GRP5_NAMES = ("inc", "dec", "call", "lcall", "jmp", "ljmp", "push", "(bad)")
+
+
+def _signed(value: int, size: int) -> int:
+    """Interpret *size* little-endian bytes as a signed integer."""
+    bit = 1 << (size * 8 - 1)
+    return (value ^ bit) - bit
+
+
+class _Cursor:
+    """Byte cursor with bounds checking over the instruction window."""
+
+    __slots__ = ("data", "start", "pos", "limit")
+
+    def __init__(self, data: bytes, start: int) -> None:
+        self.data = data
+        self.start = start
+        self.pos = start
+        self.limit = min(len(data), start + MAX_INSN_LEN)
+
+    def peek(self) -> int:
+        if self.pos >= self.limit:
+            raise DecodeError("truncated instruction", offset=self.start)
+        return self.data[self.pos]
+
+    def take(self) -> int:
+        byte = self.peek()
+        self.pos += 1
+        return byte
+
+    def take_n(self, n: int) -> int:
+        """Take *n* bytes as a little-endian unsigned integer."""
+        if self.pos + n > self.limit:
+            raise DecodeError("truncated instruction", offset=self.start)
+        value = int.from_bytes(self.data[self.pos : self.pos + n], "little")
+        self.pos += n
+        return value
+
+    @property
+    def offset(self) -> int:
+        """Offset from instruction start."""
+        return self.pos - self.start
+
+
+def _decode_modrm(cur: _Cursor, insn: Instruction, addrsize32: bool) -> None:
+    """Decode ModRM, optional SIB, and displacement into *insn*."""
+    modrm = cur.take()
+    insn.modrm = modrm
+    mod = modrm >> 6
+    rm = modrm & 7
+
+    disp_size = 0
+    if mod == 0:
+        if rm == 4:
+            insn.sib = cur.take()
+            if (insn.sib & 7) == 5:
+                disp_size = 4
+        elif rm == 5:
+            disp_size = 4  # rip-relative (eip-relative with 0x67)
+    elif mod == 1:
+        if rm == 4:
+            insn.sib = cur.take()
+        disp_size = 1
+    elif mod == 2:
+        if rm == 4:
+            insn.sib = cur.take()
+        disp_size = 4
+    # mod == 3: register operand, no displacement.
+
+    if disp_size:
+        insn.disp_offset = cur.offset
+        insn.disp_size = disp_size
+        insn.disp = _signed(cur.take_n(disp_size), disp_size)
+
+
+def _imm_bytes(kind: Imm, opsize16: bool, rexw: bool, opcode: int,
+               modrm_reg: int | None, addrsize32: bool) -> int:
+    """Return the immediate length in bytes for the given context."""
+    if kind == Imm.NONE:
+        return 0
+    if kind in (Imm.IB, Imm.REL8):
+        return 1
+    if kind == Imm.IW:
+        return 2
+    if kind == Imm.IZ:
+        return 2 if opsize16 else 4
+    if kind == Imm.REL32:
+        return 2 if opsize16 else 4
+    if kind == Imm.IV:
+        if rexw:
+            return 8
+        return 2 if opsize16 else 4
+    if kind == Imm.IW_IB:
+        return 3
+    if kind == Imm.MOFFS:
+        return 4 if addrsize32 else 8
+    if kind == Imm.GROUP3:
+        if modrm_reg in (0, 1):  # test r/m, imm
+            if opcode == 0xF6:
+                return 1
+            return 2 if opsize16 else 4
+        return 0
+    raise AssertionError(f"unhandled immediate kind {kind}")
+
+
+def _refine_mnemonic(spec: OpSpec, opcode: int, reg: int | None) -> str:
+    """Resolve group mnemonics using the ModRM.reg selector."""
+    name = spec.mnemonic
+    if reg is None:
+        return name
+    if name == "grp1":
+        return _GRP1_NAMES[reg]
+    if name == "grp2":
+        return _GRP2_NAMES[reg]
+    if name == "grp3":
+        return _GRP3_NAMES[reg]
+    if name == "grp4":
+        return ("inc", "dec")[reg] if reg < 2 else "(bad)"
+    if name == "grp5":
+        return _GRP5_NAMES[reg]
+    return name
+
+
+def decode(data: bytes, offset: int = 0, address: int | None = None) -> Instruction:
+    """Decode one instruction from *data* at *offset*.
+
+    *address* is the virtual address of the instruction (defaults to
+    *offset*), used for branch-target computation and display.
+
+    Raises :class:`DecodeError` for invalid or truncated encodings.
+    """
+    if offset >= len(data):
+        raise DecodeError("offset beyond end of buffer", offset=offset)
+    cur = _Cursor(data, offset)
+
+    # --- legacy prefixes ---------------------------------------------------
+    legacy = bytearray()
+    while True:
+        byte = cur.peek()
+        if pfx.is_legacy_prefix(byte):
+            legacy.append(cur.take())
+            if len(legacy) > 14:
+                raise DecodeError("prefix run exceeds instruction limit", offset=offset)
+        else:
+            break
+
+    opsize16 = pfx.OPSIZE in legacy
+    addrsize32 = pfx.ADDRSIZE in legacy
+    rep = pfx.REP in legacy
+    repne = pfx.REPNE in legacy
+
+    insn = Instruction(raw=b"", mnemonic="", address=offset if address is None else address)
+    insn.legacy_prefixes = bytes(legacy)
+
+    # --- REX ----------------------------------------------------------------
+    byte = cur.peek()
+    if pfx.is_rex(byte):
+        insn.rex = cur.take()
+        byte = cur.peek()
+
+    rexw = bool(insn.rex and insn.rex & pfx.REX_W)
+
+    # --- VEX / EVEX ----------------------------------------------------------
+    if insn.rex is None and byte in (0xC4, 0xC5, 0x62):
+        return _decode_vex(cur, insn, opsize16, offset, data)
+
+    # --- opcode ----------------------------------------------------------------
+    opcode = cur.take()
+    opmap = 0
+    if opcode == 0x0F:
+        opcode = cur.take()
+        opmap = 1
+        if opcode == 0x38:
+            opcode = cur.take()
+            opmap = 2
+        elif opcode == 0x3A:
+            opcode = cur.take()
+            opmap = 3
+
+    if opmap == 0:
+        spec = tables.ONE_BYTE.get(opcode)
+        if spec is None:
+            raise DecodeError(f"unknown opcode {opcode:#04x}", offset=offset)
+    elif opmap == 1:
+        spec = tables.two_byte_spec(opcode)
+    elif opmap == 2:
+        spec = tables.THREE_BYTE_38_DEFAULT
+        if opcode in tables.THREE_BYTE_38_STORES:
+            spec = OpSpec(spec.mnemonic, modrm=True, flags=F_WRITES_RM)
+    else:
+        spec = tables.THREE_BYTE_3A_DEFAULT
+        if opcode in tables.THREE_BYTE_3A_STORES:
+            spec = OpSpec(spec.mnemonic, modrm=True, imm=Imm.IB, flags=F_WRITES_RM)
+
+    if spec.flags & F_INVALID64:
+        raise DecodeError(f"opcode {opcode:#04x} invalid in 64-bit mode", offset=offset)
+
+    insn.opmap = opmap
+    insn.opcode = opcode
+    insn.opcode_offset = cur.offset - 1
+
+    # --- ModRM / SIB / displacement ----------------------------------------
+    if spec.modrm:
+        _decode_modrm(cur, insn, addrsize32)
+
+    # --- immediate -----------------------------------------------------------
+    imm_len = _imm_bytes(spec.imm, opsize16, rexw, opcode, insn.reg_raw, addrsize32)
+    if imm_len:
+        insn.imm_offset = cur.offset
+        insn.imm_size = imm_len
+        value = cur.take_n(imm_len)
+        if spec.imm in (Imm.REL8, Imm.REL32):
+            insn.imm = _signed(value, imm_len)
+        else:
+            insn.imm = value
+
+    # --- semantics ------------------------------------------------------------
+    insn.flow = spec.flow
+    insn.mnemonic = _refine_mnemonic(spec, opcode, insn.reg_raw)
+    if rep and spec.mnemonic in ("nop",) and opmap == 0 and opcode == 0x90:
+        insn.mnemonic = "pause"
+    if opmap == 1 and opcode == 0xB8 and rep:
+        insn.mnemonic = "popcnt"
+
+    key = opcode if opmap == 0 else (0x0F00 | opcode)
+    if spec.flags & F_WRITES_RM:
+        insn.writes_rm = True
+    elif spec.flags & F_GROUP_WRITE:
+        regs = tables.GROUP_WRITES.get(key, frozenset())
+        insn.writes_rm = insn.reg_raw in regs
+    if spec.flags & F_STRING_WRITE:
+        insn.string_write = True
+
+    insn.raw = bytes(data[offset : cur.pos])
+    return insn
+
+
+def _decode_vex(cur: _Cursor, insn: Instruction, opsize16: bool,
+                offset: int, data: bytes) -> Instruction:
+    """Decode a VEX- or EVEX-prefixed instruction (length-exact)."""
+    lead = cur.take()
+    if lead == 0xC5:  # 2-byte VEX
+        p1 = cur.take()
+        insn.vex = bytes((lead, p1))
+        map_select = 1
+    elif lead == 0xC4:  # 3-byte VEX
+        p1 = cur.take()
+        p2 = cur.take()
+        insn.vex = bytes((lead, p1, p2))
+        map_select = p1 & 0x1F
+    else:  # 0x62: EVEX
+        p0 = cur.take()
+        p1 = cur.take()
+        p2 = cur.take()
+        insn.vex = bytes((lead, p0, p1, p2))
+        map_select = p0 & 0x07
+
+    opcode = cur.take()
+    insn.opmap = map_select
+    insn.opcode = opcode
+    insn.opcode_offset = cur.offset - 1
+    insn.mnemonic = f"vex.m{map_select}.{opcode:02x}"
+
+    # All VEX/EVEX instructions have ModRM except vzeroupper/vzeroall
+    # (map 1 opcode 0x77).
+    has_modrm = not (map_select == 1 and opcode == 0x77)
+    if has_modrm:
+        _decode_modrm(cur, insn, addrsize32=False)
+    else:
+        insn.mnemonic = "vzeroupper"
+
+    kind = tables.vex_imm_kind(map_select, opcode)
+    imm_len = _imm_bytes(kind, opsize16, False, opcode, insn.reg_raw, False)
+    if imm_len:
+        insn.imm_offset = cur.offset
+        insn.imm_size = imm_len
+        insn.imm = cur.take_n(imm_len)
+
+    # Store detection for the common VEX mov-store forms (map 1).
+    if map_select == 1 and opcode in (0x11, 0x13, 0x17, 0x29, 0x2B, 0x7F, 0xD6, 0xE7):
+        insn.writes_rm = True
+
+    insn.raw = bytes(data[offset : cur.pos])
+    return insn
+
+
+def decode_all(data: bytes, address: int = 0) -> DecodedRegion:
+    """Linearly decode an entire buffer, raising on any invalid byte."""
+    region = DecodedRegion(address=address, data=data)
+    off = 0
+    while off < len(data):
+        insn = decode(data, off, address=address + off)
+        region.instructions.append(insn)
+        off += insn.length
+    return region
+
+
+def decode_buffer(data: bytes, address: int = 0) -> list[Instruction]:
+    """Like :func:`decode_all` but skipping undecodable bytes.
+
+    On a decode error, a single byte is skipped (recorded as a ``(bad)``
+    pseudo-instruction) and decoding resumes — the behaviour of a robust
+    linear-sweep frontend over sections that mix code and data.
+    """
+    out: list[Instruction] = []
+    off = 0
+    while off < len(data):
+        try:
+            insn = decode(data, off, address=address + off)
+        except DecodeError:
+            insn = Instruction(
+                raw=data[off : off + 1], mnemonic="(bad)", address=address + off
+            )
+        out.append(insn)
+        off += insn.length
+    return out

@@ -1,0 +1,67 @@
+"""Control-flow and memory-write classification used by the frontends.
+
+Implements the paper's two instrumentation applications:
+
+* **A1** — all direct ``jmp``/``jcc`` instructions (a control-flow-agnostic
+  analogue of basic-block counting);
+* **A2** — all instructions that may write to heap pointers, i.e. memory
+  writes excluding stores through ``%rsp`` (stack) and ``%rip`` (globals).
+"""
+
+from __future__ import annotations
+
+from repro.x86 import prefixes as pfx
+from repro.x86.insn import Instruction, OperandKind, RSP
+
+
+def is_patchable_jump(insn: Instruction) -> bool:
+    """A1 matcher: direct relative jmp / jcc instructions."""
+    return insn.is_jump
+
+
+def _movq_load_exception(insn: Instruction) -> bool:
+    """F3 0F 7E is ``movq xmm, m64`` — a load despite sharing opcode 0x7E
+    with the store forms (66 0F 7E / 0F 7E)."""
+    return (
+        insn.opmap == 1
+        and insn.opcode == 0x7E
+        and pfx.REP in insn.legacy_prefixes
+    )
+
+
+def is_memory_write(insn: Instruction) -> bool:
+    """True if the instruction stores to memory through any operand."""
+    if insn.string_write:
+        return True
+    if not insn.writes_rm:
+        return False
+    if insn.rm_kind not in (OperandKind.MEM, OperandKind.MEM_RIP):
+        return False
+    if _movq_load_exception(insn):
+        return False
+    return True
+
+
+def is_heap_write(insn: Instruction) -> bool:
+    """A2 matcher: memory writes that may target the heap.
+
+    Excludes rip-relative stores (globals) and stores whose base register
+    is ``%rsp`` (stack-local writes), per Section 6.3 of the paper.
+    """
+    if insn.string_write and not insn.imm_size:  # movs/stos via %rdi
+        return True
+    if not insn.writes_rm:
+        return False
+    kind = insn.rm_kind
+    if kind == OperandKind.MEM_RIP or kind != OperandKind.MEM:
+        return False
+    if _movq_load_exception(insn):
+        return False
+    if insn.mem_base == RSP:
+        return False
+    return True
+
+
+def branch_target(insn: Instruction) -> int | None:
+    """Absolute target of a direct relative branch, else None."""
+    return insn.target

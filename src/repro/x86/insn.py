@@ -1,0 +1,224 @@
+"""Instruction model: the decoded form of one x86-64 instruction.
+
+An :class:`Instruction` records the exact byte layout (prefixes, opcode,
+ModRM/SIB, displacement, immediate) plus the semantic facts the binary
+rewriter needs.  It deliberately does *not* model full operand semantics;
+the rewriter (like E9Patch itself) cares about lengths, byte values,
+control flow and memory-write classification.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.x86 import prefixes as pfx
+from repro.x86.tables import Flow
+
+
+class OperandKind(enum.Enum):
+    """Coarse classification of the ModRM r/m operand."""
+
+    NONE = 0  # no ModRM, or not applicable
+    REG = 1  # mod == 3: register operand
+    MEM = 2  # memory operand (non rip-relative)
+    MEM_RIP = 3  # rip-relative memory operand
+
+
+# Register numbers (ModRM encoding, before REX extension).
+RSP = 4
+RBP = 5
+R12 = 12
+R13 = 13
+
+REG_NAMES_64 = (
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+)
+
+
+@dataclass
+class Instruction:
+    """One decoded x86-64 instruction.
+
+    Offsets (``disp_offset`` / ``imm_offset``) are relative to the start of
+    the instruction so that byte-level tools (pun search, relocation) can
+    address individual fields of ``raw``.
+    """
+
+    raw: bytes
+    mnemonic: str
+    address: int = 0
+
+    legacy_prefixes: bytes = b""
+    rex: int | None = None
+    vex: bytes | None = None  # full VEX/EVEX prefix incl. leading byte
+    opmap: int = 0  # 0 = one-byte map, 1 = 0F, 2 = 0F38, 3 = 0F3A
+    opcode: int = 0
+    opcode_offset: int = 0
+
+    modrm: int | None = None
+    sib: int | None = None
+    disp: int | None = None
+    disp_offset: int = 0
+    disp_size: int = 0
+    imm: int | None = None
+    imm_offset: int = 0
+    imm_size: int = 0
+
+    flow: Flow = Flow.NONE
+    writes_rm: bool = False  # writes its ModRM r/m operand
+    string_write: bool = False  # implicit store through %rdi / moffs
+
+    # -- layout ------------------------------------------------------------
+
+    @property
+    def length(self) -> int:
+        return len(self.raw)
+
+    @property
+    def end(self) -> int:
+        """Address of the next instruction."""
+        return self.address + len(self.raw)
+
+    # -- ModRM helpers -----------------------------------------------------
+
+    @property
+    def mod(self) -> int | None:
+        return None if self.modrm is None else self.modrm >> 6
+
+    @property
+    def reg(self) -> int | None:
+        """ModRM.reg field, extended with REX.R / VEX.R."""
+        if self.modrm is None:
+            return None
+        reg = (self.modrm >> 3) & 7
+        if self.rex is not None and self.rex & pfx.REX_R:
+            reg |= 8
+        return reg
+
+    @property
+    def reg_raw(self) -> int | None:
+        """ModRM.reg field without REX extension (group selector)."""
+        return None if self.modrm is None else (self.modrm >> 3) & 7
+
+    @property
+    def rm(self) -> int | None:
+        if self.modrm is None:
+            return None
+        rm = self.modrm & 7
+        if self.rex is not None and self.rex & pfx.REX_B:
+            rm |= 8
+        return rm
+
+    @property
+    def rm_kind(self) -> OperandKind:
+        if self.modrm is None:
+            return OperandKind.NONE
+        if self.mod == 3:
+            return OperandKind.REG
+        if self.mod == 0 and (self.modrm & 7) == 5:
+            return OperandKind.MEM_RIP
+        return OperandKind.MEM
+
+    @property
+    def rip_relative(self) -> bool:
+        """True if the instruction has a rip-relative memory operand."""
+        return self.rm_kind == OperandKind.MEM_RIP
+
+    @property
+    def has_mem_operand(self) -> bool:
+        return self.rm_kind in (OperandKind.MEM, OperandKind.MEM_RIP)
+
+    @property
+    def mem_base(self) -> int | None:
+        """Base register of a memory operand (REX-extended), or None.
+
+        Returns None for rip-relative operands and for SIB forms with no
+        base (mod=0, base=101).
+        """
+        if self.rm_kind != OperandKind.MEM:
+            return None
+        rm = self.modrm & 7
+        rexb = 8 if (self.rex is not None and self.rex & pfx.REX_B) else 0
+        if rm != 4:
+            return rm | rexb
+        assert self.sib is not None
+        base = self.sib & 7
+        if base == 5 and self.mod == 0:
+            return None  # disp32, no base register
+        return base | rexb
+
+    # -- control flow -------------------------------------------------------
+
+    @property
+    def is_direct_branch(self) -> bool:
+        """jmp/jcc/call/loop with an encoded relative displacement."""
+        return self.flow in (Flow.JMP, Flow.JCC, Flow.CALL, Flow.LOOP)
+
+    @property
+    def is_jump(self) -> bool:
+        """Direct relative jmp or jcc (the paper's A1 instrumentation set)."""
+        return self.flow in (Flow.JMP, Flow.JCC)
+
+    @property
+    def is_indirect_call(self) -> bool:
+        from repro.x86.tables import GRP5_CALL_REGS
+
+        return self.flow == Flow.GROUP5 and self.reg_raw in GRP5_CALL_REGS
+
+    @property
+    def is_indirect_jump(self) -> bool:
+        from repro.x86.tables import GRP5_JMP_REGS
+
+        return self.flow == Flow.GROUP5 and self.reg_raw in GRP5_JMP_REGS
+
+    @property
+    def is_ret(self) -> bool:
+        return self.flow == Flow.RET
+
+    @property
+    def rel(self) -> int | None:
+        """Signed branch displacement for direct branches, else None."""
+        if self.is_direct_branch:
+            return self.imm
+        return None
+
+    @property
+    def target(self) -> int | None:
+        """Absolute branch target for direct branches, else None."""
+        if self.rel is None:
+            return None
+        return self.end + self.rel
+
+    # -- rendering -----------------------------------------------------------
+
+    def __str__(self) -> str:
+        from repro.x86.format import format_insn
+
+        hexbytes = " ".join(f"{b:02x}" for b in self.raw)
+        loc = f"{self.address:#x}: " if self.address else ""
+        return f"{loc}{hexbytes:<30} {format_insn(self)}"
+
+
+@dataclass
+class DecodedRegion:
+    """A linearly decoded code region (the frontend's unit of work)."""
+
+    address: int
+    data: bytes
+    instructions: list[Instruction] = field(default_factory=list)
+
+    def at(self, address: int) -> Instruction | None:
+        """Return the instruction starting at *address*, if any."""
+        lo, hi = 0, len(self.instructions)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            insn = self.instructions[mid]
+            if insn.address < address:
+                lo = mid + 1
+            elif insn.address > address:
+                hi = mid
+            else:
+                return insn
+        return None

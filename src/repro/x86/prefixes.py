@@ -1,0 +1,91 @@
+"""Legacy and REX prefix model for x86-64 instruction decoding.
+
+x86-64 instructions may begin with any number of *legacy prefixes* (in
+practice at most one per group), optionally followed by a single REX
+prefix that must immediately precede the opcode.  The decoder consumes
+prefixes greedily; the encoder uses :data:`PAD_PREFIXES` to lengthen a
+jump without changing its semantics (tactic T1 of the paper).
+"""
+
+from __future__ import annotations
+
+# --- Legacy prefix groups -------------------------------------------------
+
+LOCK = 0xF0
+REPNE = 0xF2
+REP = 0xF3
+
+SEG_CS = 0x2E
+SEG_SS = 0x36
+SEG_DS = 0x3E
+SEG_ES = 0x26
+SEG_FS = 0x64
+SEG_GS = 0x65
+
+OPSIZE = 0x66  # operand-size override
+ADDRSIZE = 0x67  # address-size override
+
+GROUP1 = frozenset({LOCK, REPNE, REP})
+GROUP2 = frozenset({SEG_CS, SEG_SS, SEG_DS, SEG_ES, SEG_FS, SEG_GS})
+GROUP3 = frozenset({OPSIZE})
+GROUP4 = frozenset({ADDRSIZE})
+
+LEGACY_PREFIXES = GROUP1 | GROUP2 | GROUP3 | GROUP4
+
+# --- REX ------------------------------------------------------------------
+
+REX_BASE = 0x40  # 0x40..0x4F
+
+REX_W = 0x08
+REX_R = 0x04
+REX_X = 0x02
+REX_B = 0x01
+
+
+def is_rex(byte: int) -> bool:
+    """Return True if *byte* is a REX prefix (0x40-0x4F)."""
+    return 0x40 <= byte <= 0x4F
+
+
+def is_legacy_prefix(byte: int) -> bool:
+    """Return True if *byte* is a legacy prefix byte."""
+    return byte in LEGACY_PREFIXES
+
+
+# Prefixes that are *semantically redundant* on a relative near jump and can
+# therefore be used as padding for tactic T1.  Segment overrides are ignored
+# by jumps; a plain REX prefix (0x40-0x4F without an opcode that uses its
+# bits) is likewise ignored.  The paper's Figure 1 uses REX=0x48 and ES=0x26.
+#
+# Order matters: the decoder must still see the byte sequence as one valid
+# jump instruction.  Legacy prefixes must precede REX, and REX must be the
+# byte immediately before the opcode, so when padding with ``n`` bytes we
+# emit ``(n-1) segment overrides + one REX`` or ``n`` segment overrides.
+PAD_PREFIXES = (SEG_CS, SEG_SS, SEG_DS, SEG_ES, SEG_FS, SEG_GS)
+
+PAD_REX = 0x48
+
+
+def jump_padding(n: int) -> bytes:
+    """Return *n* prefix bytes that do not change a ``jmpq rel32``.
+
+    The returned sequence keeps the encoding architecturally valid: any
+    number of segment-override prefixes followed by at most one trailing
+    REX prefix.
+
+    >>> jump_padding(0)
+    b''
+    >>> jump_padding(1)
+    b'H'
+    >>> len(jump_padding(7))
+    7
+    """
+    if n < 0:
+        raise ValueError("padding length must be non-negative")
+    if n == 0:
+        return b""
+    pads = []
+    for i in range(n - 1):
+        pads.append(PAD_PREFIXES[i % len(PAD_PREFIXES)])
+    pads.append(PAD_REX)
+    return bytes(pads)

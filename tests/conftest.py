@@ -1,0 +1,105 @@
+"""Shared fixtures: native-execution helpers and a compiled C corpus."""
+
+from __future__ import annotations
+
+import os
+import platform
+import shutil
+import stat
+import subprocess
+
+import pytest
+
+
+def _can_run_native() -> bool:
+    return platform.system() == "Linux" and platform.machine() == "x86_64"
+
+
+HAVE_NATIVE = _can_run_native()
+HAVE_GCC = shutil.which("gcc") is not None
+HAVE_OBJDUMP = shutil.which("objdump") is not None
+
+requires_native = pytest.mark.skipif(
+    not HAVE_NATIVE, reason="requires an x86-64 Linux host"
+)
+requires_gcc = pytest.mark.skipif(
+    not (HAVE_NATIVE and HAVE_GCC), reason="requires gcc on x86-64 Linux"
+)
+requires_objdump = pytest.mark.skipif(
+    not HAVE_OBJDUMP, reason="requires objdump"
+)
+
+
+@pytest.fixture
+def run_native(tmp_path):
+    """Write an ELF image to disk, execute it, return (exit_code, stdout)."""
+    if not HAVE_NATIVE:
+        pytest.skip("requires an x86-64 Linux host")
+
+    counter = [0]
+
+    def _run(image: bytes, args: list[str] | None = None, timeout: float = 20.0):
+        counter[0] += 1
+        path = tmp_path / f"prog{counter[0]}"
+        path.write_bytes(image)
+        path.chmod(path.stat().st_mode | stat.S_IXUSR)
+        proc = subprocess.run(
+            [str(path)] + (args or []), capture_output=True, timeout=timeout
+        )
+        return proc.returncode, proc.stdout
+
+    return _run
+
+
+_C_SOURCE = r"""
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+static int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+
+typedef struct { long vals[8]; char tag[16]; } rec_t;
+
+int main(int argc, char **argv) {
+    rec_t *recs = malloc(32 * sizeof(rec_t));
+    long acc = 0;
+    for (int i = 0; i < 32; i++) {
+        for (int j = 0; j < 8; j++)
+            recs[i].vals[j] = (long)i * j + fib(i % 12);
+        snprintf(recs[i].tag, sizeof recs[i].tag, "r%02d", i);
+        acc ^= recs[i].vals[i % 8] * 2654435761u;
+    }
+    double f = 1.0;
+    for (int i = 1; i < argc + 5; i++) f *= 1.0 + 1.0 / (i * i);
+    printf("%ld %.6f %s\n", acc, f, recs[7].tag);
+    free(recs);
+    return (int)(acc & 0x3f);
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def compiled_corpus(tmp_path_factory):
+    """gcc-compiled test programs at several optimization/PIE settings."""
+    if not (HAVE_NATIVE and HAVE_GCC):
+        pytest.skip("requires gcc on x86-64 Linux")
+    root = tmp_path_factory.mktemp("corpus")
+    src = root / "prog.c"
+    src.write_text(_C_SOURCE)
+    variants = {
+        "O0_pie": ["-O0"],
+        "O2_pie": ["-O2"],
+        "O2_nopie": ["-O2", "-no-pie"],
+        "O1_static": ["-O1", "-static"],
+    }
+    out = {}
+    for name, flags in variants.items():
+        path = root / name
+        result = subprocess.run(
+            ["gcc", *flags, "-o", str(path), str(src)], capture_output=True
+        )
+        if result.returncode == 0:
+            out[name] = path
+    if not out:
+        pytest.skip("gcc failed to build the corpus")
+    return out

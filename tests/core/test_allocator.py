@@ -1,0 +1,70 @@
+"""AddressSpace allocation semantics."""
+
+from repro.core.allocator import MMAP_MIN_ADDR, AddressSpace
+
+
+class TestAllocate:
+    def test_first_fit_in_window(self):
+        space = AddressSpace(lo_bound=0x10000, hi_bound=0x100000)
+        t = space.allocate(0x20000, 0x30000, 64)
+        assert t == 0x20000
+        t2 = space.allocate(0x20000, 0x30000, 64)
+        assert t2 == 0x20040  # packs after the first
+
+    def test_reserved_avoided(self):
+        space = AddressSpace(lo_bound=0x10000, hi_bound=0x100000)
+        space.reserve(0x20000, 0x28000)
+        t = space.allocate(0x20000, 0x30000, 64)
+        assert t == 0x28000
+
+    def test_window_exhaustion(self):
+        space = AddressSpace(lo_bound=0x10000, hi_bound=0x100000)
+        space.reserve(0x20000, 0x30000)
+        assert space.allocate(0x20000, 0x30000, 16) is None
+
+    def test_release_returns_space(self):
+        space = AddressSpace(lo_bound=0, hi_bound=0x1000)
+        t = space.allocate(0, 0x1000, 256)
+        space.release(t, 256)
+        assert space.allocate(0, 0x1000, 256) == t
+        assert len(space.allocations) == 1
+
+    def test_alignment(self):
+        space = AddressSpace(lo_bound=0x100, hi_bound=0x10000)
+        t = space.allocate(0x100, 0x10000, 64, align=0x1000)
+        assert t == 0x1000
+
+    def test_used_bytes(self):
+        space = AddressSpace(lo_bound=0, hi_bound=0x10000)
+        space.allocate(0, 0x10000, 100)
+        space.allocate(0, 0x10000, 50)
+        assert space.used_bytes() == 150
+
+
+class TestForBinary:
+    SEGMENTS = [(0x400000, 0x2000), (0x403000, 0x1000)]
+
+    def test_nonpie_bounds(self):
+        space = AddressSpace.for_binary(self.SEGMENTS, pie=False)
+        assert space.lo_bound == MMAP_MIN_ADDR
+        # Segments plus guards are reserved.
+        assert space.allocate(0x400000, 0x400100, 16) is None
+        assert space.allocate(0x3FF800, 0x3FFC00, 16) is None  # guard page
+
+    def test_pie_bounds_include_negative(self):
+        space = AddressSpace.for_binary(
+            [(0, 0x2000)], pie=True
+        )
+        assert space.lo_bound < 0
+        t = space.allocate(-0x100000, -0x80000, 64)
+        assert t is not None and t < 0
+
+    def test_shared_positive_only(self):
+        space = AddressSpace.for_binary([(0, 0x2000)], pie=True, shared=True)
+        assert space.lo_bound >= 0
+        assert space.allocate(-0x100000, -0x80000, 64) is None
+
+    def test_guard_scales(self):
+        space = AddressSpace.for_binary(self.SEGMENTS, guard=0x10000)
+        assert space.allocate(0x3F8000, 0x400000, 16) is None
+        assert space.allocate(0x414000, 0x500000, 16) == 0x414000

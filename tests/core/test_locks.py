@@ -1,0 +1,65 @@
+"""Lock-map semantics (paper Section 3.4)."""
+
+import pytest
+
+from repro.core.locks import MODIFIED, PUNNED, UNLOCKED, LockMap
+from repro.errors import LockViolation
+
+
+class TestLockMap:
+    def test_initial_state(self):
+        lm = LockMap(0x1000, 16)
+        assert lm.is_writable(0x1000, 16)
+        assert lm.state(0x1008) == UNLOCKED
+
+    def test_modified_blocks_writes(self):
+        lm = LockMap(0x1000, 16)
+        lm.lock_modified(0x1000, 4)
+        assert not lm.is_writable(0x1000, 1)
+        assert not lm.is_writable(0x1002, 4)
+        assert lm.is_writable(0x1004, 4)
+        with pytest.raises(LockViolation):
+            lm.lock_modified(0x1003, 2)
+
+    def test_punned_blocks_writes(self):
+        lm = LockMap(0x1000, 16)
+        lm.lock_punned(0x1004, 2)
+        assert not lm.is_writable(0x1004, 1)
+        assert lm.state(0x1004) == PUNNED
+
+    def test_pun_over_modified_keeps_modified(self):
+        """A MODIFIED byte may serve as a fixed rel32 cell; its state must
+        not be downgraded (the byte was still overwritten)."""
+        lm = LockMap(0x1000, 16)
+        lm.lock_modified(0x1000, 2)
+        lm.lock_punned(0x1000, 4)
+        assert lm.state(0x1000) == MODIFIED
+        assert lm.state(0x1002) == PUNNED
+
+    def test_pun_idempotent(self):
+        lm = LockMap(0x1000, 16)
+        lm.lock_punned(0x1000, 4)
+        lm.lock_punned(0x1002, 4)  # overlapping pun is fine
+        assert lm.state(0x1003) == PUNNED
+
+    def test_out_of_range(self):
+        lm = LockMap(0x1000, 16)
+        assert not lm.is_writable(0x0FFF, 1)
+        assert not lm.is_writable(0x100F, 2)
+        with pytest.raises(LockViolation):
+            lm.state(0x2000)
+
+    def test_snapshot_restore(self):
+        lm = LockMap(0x1000, 8)
+        snap = lm.snapshot(0x1000, 8)
+        lm.lock_modified(0x1000, 3)
+        lm.lock_punned(0x1003, 2)
+        lm.restore(0x1000, snap)
+        assert lm.is_writable(0x1000, 8)
+
+    def test_counts(self):
+        lm = LockMap(0, 10)
+        lm.lock_modified(0, 3)
+        lm.lock_punned(3, 2)
+        counts = lm.counts()
+        assert counts == {"unlocked": 5, "modified": 3, "punned": 2}

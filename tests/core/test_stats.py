@@ -1,0 +1,62 @@
+"""PatchStats arithmetic."""
+
+from repro.core.stats import PatchStats
+from repro.core.tactics import Tactic
+
+
+class TestPatchStats:
+    def test_empty(self):
+        s = PatchStats()
+        assert s.total == 0
+        assert s.success_pct == 0.0
+        assert s.row()["locs"] == 0
+
+    def test_recording(self):
+        s = PatchStats()
+        for tactic in (Tactic.B1, Tactic.B1, Tactic.B2, Tactic.T1,
+                       Tactic.T2, Tactic.T3, None):
+            s.record(tactic)
+        assert s.total == 7
+        assert s.failed == 1
+        assert s.succeeded == 6
+        assert abs(s.base_pct - 3 / 7 * 100) < 1e-9
+        assert abs(s.t1_pct - 1 / 7 * 100) < 1e-9
+        assert abs(s.success_pct - 6 / 7 * 100) < 1e-9
+
+    def test_base_combines_b1_b2(self):
+        s = PatchStats()
+        s.record(Tactic.B1)
+        s.record(Tactic.B2)
+        assert s.base_pct == 100.0
+        assert Tactic.B1.is_baseline and Tactic.B2.is_baseline
+        assert not Tactic.T1.is_baseline
+
+    def test_percentages_partition(self):
+        s = PatchStats()
+        for t in (Tactic.B2, Tactic.T1, Tactic.T2, Tactic.T3, Tactic.B0, None):
+            s.record(t)
+        total = (s.base_pct + s.t1_pct + s.t2_pct + s.t3_pct + s.b0_pct
+                 + 100.0 * s.failed / s.total)
+        assert abs(total - 100.0) < 1e-9
+
+    def test_str(self):
+        s = PatchStats()
+        s.record(Tactic.B1)
+        assert "Succ%=100.00" in str(s)
+
+
+class TestReportHelpers:
+    def test_render_table(self):
+        from repro.eval.report import render_table
+
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_write_artifact(self, tmp_path, capsys):
+        from repro.eval.report import write_artifact
+
+        path = write_artifact(tmp_path, "x.txt", "hello")
+        assert path.read_text() == "hello\n"
+        assert "x.txt" in capsys.readouterr().out

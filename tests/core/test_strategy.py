@@ -1,0 +1,108 @@
+"""Strategy S1: reverse-order patching and tactic interplay."""
+
+from repro.core.allocator import AddressSpace
+from repro.core.binary import CodeImage
+from repro.core.strategy import PatchRequest, TacticToggles, patch_all
+from repro.core.tactics import Tactic, TacticContext
+from repro.core.trampoline import Empty
+from repro.x86.decoder import decode, decode_buffer
+
+BASE = 0x400000
+
+
+def make_ctx(code: bytes, *, lo=0x10000, hi=0x7FFF0000) -> TacticContext:
+    image = CodeImage.from_ranges([(BASE, code)])
+    space = AddressSpace(lo_bound=lo, hi_bound=hi)
+    space.reserve(BASE - 0x1000, BASE + len(code) + 0x1000)
+    return TacticContext(image=image, space=space,
+                         instructions=decode_buffer(code, address=BASE))
+
+
+def requests(ctx, *addrs):
+    return [PatchRequest(insn=ctx.insn_at(a), instrumentation=Empty())
+            for a in addrs]
+
+
+class TestReverseOrder:
+    def test_adjacent_sites_both_patched(self):
+        """Figure 1 scenario: patching Ins2 first must not block Ins1."""
+        code = (bytes.fromhex("488903") + bytes.fromhex("4883c020")
+                + bytes.fromhex("0010") + b"\x90" * 16)
+        ctx = make_ctx(code)
+        plan = patch_all(ctx, requests(ctx, BASE, BASE + 3))
+        assert plan.stats.success_pct == 100.0
+        assert len(plan.patches) == 2
+        # Higher address patched first (reverse execution order).
+        assert plan.patches[0].site == BASE + 3
+        assert plan.patches[1].site == BASE
+
+    def test_dependency_on_patched_successor(self):
+        """Ins1's pun must read Ins2's *new* bytes after Ins2 is patched."""
+        code = (bytes.fromhex("488903") + bytes.fromhex("4883c020")
+                + bytes.fromhex("0010") + b"\x90" * 16)
+        ctx = make_ctx(code)
+        plan = patch_all(ctx, requests(ctx, BASE, BASE + 3))
+        by_site = {p.site: p for p in plan.patches}
+        # Decode the jump at Ins1 against the current (patched) image;
+        # it must target Ins1's own trampoline.
+        raw = ctx.image.read(BASE, 8)
+        jump = decode(raw, 0, address=BASE)
+        assert jump.target == by_site[BASE].trampolines[0].vaddr
+
+    def test_all_sites_recorded_in_stats(self):
+        code = bytes.fromhex("0010") .join([b""]) or b""
+        code = (bytes.fromhex("eb00") + bytes.fromhex("0010")
+                + bytes.fromhex("eb00") + bytes.fromhex("0010") + b"\x90" * 8)
+        ctx = make_ctx(code)
+        plan = patch_all(ctx, requests(ctx, BASE, BASE + 4))
+        assert plan.stats.total == 2
+        assert plan.stats.succeeded + plan.stats.failed == 2
+
+    def test_failures_listed(self):
+        # Tiny address space: nothing allocatable.
+        code = bytes.fromhex("488903") + b"\x90" * 8
+        ctx = make_ctx(code, lo=0x10000, hi=0x10008)
+        plan = patch_all(ctx, requests(ctx, BASE),
+                         TacticToggles(t2=False, t3=False))
+        assert plan.failures == [BASE]
+        assert plan.stats.failed == 1
+
+
+class TestToggles:
+    CODE = (bytes.fromhex("488903") + bytes.fromhex("4883c0f0")
+            + bytes.fromhex("48b98877665544332211") + b"\x90" * 32)
+
+    def test_disable_all_fallbacks(self):
+        ctx = make_ctx(self.CODE)
+        plan = patch_all(ctx, requests(ctx, BASE),
+                         TacticToggles(t1=False, t2=False, t3=False))
+        assert plan.stats.failed == 1
+
+    def test_t2_catches_when_enabled(self):
+        ctx = make_ctx(self.CODE)
+        plan = patch_all(ctx, requests(ctx, BASE),
+                         TacticToggles(t1=True, t2=True, t3=False))
+        assert plan.patches and plan.patches[0].tactic == Tactic.T2
+
+    def test_t3_as_last_resort(self):
+        ctx = make_ctx(self.CODE)
+        plan = patch_all(ctx, requests(ctx, BASE),
+                         TacticToggles(t1=True, t2=False, t3=True))
+        assert plan.patches and plan.patches[0].tactic == Tactic.T3
+
+    def test_b0_fallback(self):
+        code = bytes.fromhex("488903") + b"\x90" * 4
+        ctx = make_ctx(code, lo=0x10000, hi=0x10008)  # nothing allocatable
+        plan = patch_all(ctx, requests(ctx, BASE),
+                         TacticToggles(b0_fallback=True))
+        assert plan.patches[0].tactic == Tactic.B0
+        assert ctx.image.read(BASE, 1) == b"\xcc"
+
+
+class TestStats:
+    def test_trampoline_accounting(self):
+        code = (bytes.fromhex("488903") + bytes.fromhex("0010") + b"\x90" * 16)
+        ctx = make_ctx(code)
+        plan = patch_all(ctx, requests(ctx, BASE))
+        assert plan.stats.trampoline_count == 1
+        assert plan.stats.trampoline_bytes == plan.patches[0].trampolines[0].size

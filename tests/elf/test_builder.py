@@ -1,0 +1,87 @@
+"""TinyProgram: from-scratch executables run natively and in the VM."""
+
+from repro.elf import constants as c
+from repro.elf.builder import TinyProgram, hello_world
+from repro.elf.reader import ElfFile
+from repro.vm.machine import run_elf
+from tests.conftest import requires_native
+
+
+class TestHelloWorld:
+    def test_runs_in_vm(self):
+        r = run_elf(hello_world(b"hi there\n"))
+        assert r.exit_code == 0
+        assert r.stdout == b"hi there\n"
+
+    @requires_native
+    def test_runs_natively(self, run_native):
+        code, out = run_native(hello_world(b"native!\n"))
+        assert code == 0
+        assert out == b"native!\n"
+
+    @requires_native
+    def test_pie_runs_natively(self, run_native):
+        code, out = run_native(hello_world(b"pie!\n", pie=True))
+        assert code == 0
+        assert out == b"pie!\n"
+
+    def test_pie_runs_in_vm(self):
+        r = run_elf(hello_world(b"pie-vm\n", pie=True))
+        assert r.exit_code == 0
+        assert r.stdout == b"pie-vm\n"
+
+
+class TestLayout:
+    def test_data_blob_addressing(self):
+        prog = TinyProgram()
+        a1 = prog.add_data("x", b"12345")
+        a2 = prog.add_data("y", b"6789")
+        assert a2 == a1 + 8  # 8-byte aligned
+        assert prog.data_vaddr("x") == a1
+        assert prog.data_vaddr("y") == a2
+
+    def test_bss(self):
+        prog = TinyProgram()
+        prog.add_data("d", b"abc")
+        prog.bss_size = 0x5000
+        prog.emit_exit(0)
+        elf = ElfFile(prog.build())
+        data_seg = [p for p in elf.phdrs
+                    if p.type == c.PT_LOAD and p.flags & c.PF_W]
+        assert data_seg[0].memsz >= data_seg[0].filesz + 0x5000
+
+    def test_extra_segments(self):
+        prog = TinyProgram()
+        prog.extra_segments.append((0x20_0000_0000, 0x2000))
+        prog.emit_exit(0)
+        elf = ElfFile(prog.build())
+        extra = [p for p in elf.phdrs if p.vaddr == 0x20_0000_0000]
+        assert len(extra) == 1
+        assert extra[0].filesz == 0 and extra[0].memsz == 0x2000
+
+    @requires_native
+    def test_extra_segment_mapped_natively(self, run_native):
+        prog = TinyProgram()
+        heap = 0x20_0000_0000
+        prog.extra_segments.append((heap, 0x1000))
+        a = prog.text
+        a.mov_imm64(3, heap)  # rbx
+        a.mov_imm64(0, 0x1122334455667788)
+        a.mov_store(3, 0, 0)
+        a.mov_load(1, 3, 0)
+        # exit(rcx & 0x7f)
+        a.raw(b"\x48\x89\xcf")  # mov rdi, rcx
+        a.raw(b"\x48\x83\xe7\x7f")  # and rdi, 0x7f
+        a.mov_imm32(0, c.SYS_EXIT)
+        a.syscall()
+        code, _ = run_native(prog.build())
+        assert code == 0x1122334455667788 & 0x7F
+
+    def test_gnu_stack_present(self):
+        elf = ElfFile(hello_world())
+        assert any(p.type == c.PT_GNU_STACK for p in elf.phdrs)
+
+    def test_exit_code(self):
+        prog = TinyProgram()
+        prog.emit_exit(42)
+        assert run_elf(prog.build()).exit_code == 42

@@ -1,0 +1,92 @@
+"""PT_DYNAMIC parsing and DT_INIT retargeting."""
+
+import struct
+
+import pytest
+
+from repro.elf import constants as c
+from repro.elf.builder import hello_world
+from repro.elf.dynamic import (
+    DT_FINI,
+    DT_INIT,
+    DT_NULL,
+    dynamic_entries,
+    find_init,
+    retarget_init,
+)
+from repro.elf.reader import ElfFile
+from repro.elf.structs import Phdr
+from repro.errors import ElfError
+from tests.conftest import requires_gcc
+
+
+def with_dynamic(entries: list[tuple[int, int]]) -> ElfFile:
+    """Craft a binary with a PT_DYNAMIC segment holding *entries*."""
+    base = hello_world()
+    elf = ElfFile(base)
+    blob = b"".join(struct.pack("<qQ", tag, value) for tag, value in entries)
+    blob += struct.pack("<qQ", DT_NULL, 0)
+    raw = bytearray(base)
+    dyn_off = len(raw)
+    raw += blob
+    # Overwrite the PT_GNU_STACK header slot with PT_DYNAMIC.
+    idx = elf.ehdr.phnum - 1
+    off = elf.ehdr.phoff + idx * c.PHDR_SIZE
+    phdr = Phdr(type=c.PT_DYNAMIC, flags=c.PF_R, offset=dyn_off,
+                vaddr=0x600000, paddr=0, filesz=len(blob), memsz=len(blob),
+                align=8)
+    raw[off:off + c.PHDR_SIZE] = phdr.pack()
+    return ElfFile(bytes(raw))
+
+
+class TestDynamicParsing:
+    def test_no_dynamic_segment(self):
+        elf = ElfFile(hello_world())
+        assert dynamic_entries(elf) == []
+        assert find_init(elf) is None
+
+    def test_entries_parsed(self):
+        elf = with_dynamic([(DT_INIT, 0x401234), (DT_FINI, 0x405678)])
+        entries = dynamic_entries(elf)
+        assert [(e.tag, e.value) for e in entries] == [
+            (DT_INIT, 0x401234), (DT_FINI, 0x405678)]
+
+    def test_stops_at_null(self):
+        elf = with_dynamic([(DT_FINI, 1)])
+        assert len(dynamic_entries(elf)) == 1
+
+    def test_find_init(self):
+        elf = with_dynamic([(DT_FINI, 1), (DT_INIT, 0xABC)])
+        entry = find_init(elf)
+        assert entry is not None and entry.value == 0xABC
+
+    def test_retarget_init_plan(self):
+        elf = with_dynamic([(DT_INIT, 0x401234)])
+        offset, original = retarget_init(elf, 0x700000)
+        assert original == 0x401234
+        # The returned offset addresses the d_un field of the entry.
+        assert elf.data[offset:offset + 8] == (0x401234).to_bytes(8, "little")
+
+    def test_retarget_without_init_raises(self):
+        elf = with_dynamic([(DT_FINI, 1)])
+        with pytest.raises(ElfError):
+            retarget_init(elf, 0x700000)
+
+
+@requires_gcc
+class TestRealSharedObject:
+    def test_gcc_library_has_init(self, tmp_path):
+        import subprocess
+
+        src = tmp_path / "m.c"
+        src.write_text("int answer(void){return 42;}\n")
+        lib = tmp_path / "libm42.so"
+        r = subprocess.run(["gcc", "-shared", "-fPIC", "-o", str(lib), str(src)],
+                           capture_output=True)
+        if r.returncode:
+            pytest.skip("gcc cannot build a shared object here")
+        elf = ElfFile(lib.read_bytes())
+        entry = find_init(elf)
+        assert entry is not None
+        # DT_INIT points inside an executable segment.
+        assert any(lo <= entry.value < hi for lo, hi in elf.exec_ranges())

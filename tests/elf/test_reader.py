@@ -1,0 +1,85 @@
+"""ElfFile parsing and address translation."""
+
+import pytest
+
+from repro.elf import constants as c
+from repro.elf.builder import hello_world
+from repro.elf.reader import ElfFile
+from repro.errors import ElfError
+from tests.conftest import requires_gcc
+
+
+class TestParse:
+    def test_hello_world(self):
+        elf = ElfFile(hello_world())
+        assert not elf.is_pie
+        assert elf.entry == 0x401000
+        assert [s.name for s in elf.sections] == ["", ".text", ".data", ".shstrtab"]
+        assert elf.section(".text").executable
+
+    def test_pie_flag(self):
+        assert ElfFile(hello_world(pie=True)).is_pie
+
+    def test_image_bounds(self):
+        elf = ElfFile(hello_world())
+        assert elf.image_base == 0x400000
+        assert elf.image_end > 0x401000
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ElfError):
+            ElfFile(b"not an elf file at all" * 10)
+
+    def test_section_bytes(self):
+        elf = ElfFile(hello_world(b"xyz\n"))
+        text = elf.section_bytes(".text")
+        assert len(text) == elf.section(".text").size
+        assert b"xyz\n" in elf.section_bytes(".data")
+
+    def test_missing_section(self):
+        elf = ElfFile(hello_world())
+        assert elf.section(".nonexistent") is None
+        with pytest.raises(ElfError):
+            elf.section_bytes(".nonexistent")
+
+
+class TestAddressTranslation:
+    def test_vaddr_roundtrip(self):
+        elf = ElfFile(hello_world())
+        off = elf.vaddr_to_offset(0x401000)
+        assert off == 0x1000
+        assert elf.offset_to_vaddr(off) == 0x401000
+
+    def test_unmapped_vaddr_rejected(self):
+        elf = ElfFile(hello_world())
+        with pytest.raises(ElfError):
+            elf.vaddr_to_offset(0x10)
+
+    def test_read_vaddr(self):
+        elf = ElfFile(hello_world())
+        text = elf.read_vaddr(0x401000, 4)
+        assert text == elf.data[0x1000:0x1004]
+
+    def test_exec_ranges(self):
+        elf = ElfFile(hello_world())
+        ranges = elf.exec_ranges()
+        assert len(ranges) == 1
+        lo, hi = ranges[0]
+        assert lo <= 0x401000 < hi
+
+
+@requires_gcc
+class TestRealBinaries:
+    def test_parse_compiled(self, compiled_corpus):
+        for path in compiled_corpus.values():
+            elf = ElfFile.from_path(str(path))
+            assert elf.section(".text") is not None
+            text = elf.section(".text")
+            assert elf.vaddr_to_offset(text.vaddr) == text.offset
+
+    def test_parse_bin_ls(self):
+        import os
+
+        if not os.path.exists("/bin/ls"):
+            pytest.skip("/bin/ls not present")
+        elf = ElfFile.from_path("/bin/ls")
+        assert elf.section(".text") is not None

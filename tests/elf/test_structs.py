@@ -1,0 +1,60 @@
+"""ELF64 struct pack/unpack round-trips."""
+
+import pytest
+
+from repro.elf import constants as c
+from repro.elf.structs import Ehdr, Phdr, Shdr
+from repro.errors import ElfError
+
+
+class TestEhdr:
+    def test_roundtrip(self):
+        hdr = Ehdr.new(entry=0x401000, phoff=64, phnum=3)
+        packed = hdr.pack()
+        assert len(packed) == c.EHDR_SIZE
+        again = Ehdr.unpack(packed)
+        assert again == hdr
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ElfError):
+            Ehdr.unpack(b"\x00" * 64)
+
+    def test_elf32_rejected(self):
+        raw = bytearray(Ehdr.new(entry=0, phoff=64, phnum=0).pack())
+        raw[c.EI_CLASS] = 1  # ELFCLASS32
+        with pytest.raises(ElfError):
+            Ehdr.unpack(bytes(raw))
+
+    def test_big_endian_rejected(self):
+        raw = bytearray(Ehdr.new(entry=0, phoff=64, phnum=0).pack())
+        raw[c.EI_DATA] = 2
+        with pytest.raises(ElfError):
+            Ehdr.unpack(bytes(raw))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ElfError):
+            Ehdr.unpack(b"\x7fELF")
+
+
+class TestPhdr:
+    def test_roundtrip(self):
+        p = Phdr(type=c.PT_LOAD, flags=c.PF_R | c.PF_X, offset=0x1000,
+                 vaddr=0x401000, paddr=0x401000, filesz=0x500, memsz=0x800,
+                 align=0x1000)
+        assert Phdr.unpack(p.pack(), 0) == p
+
+    def test_contains(self):
+        p = Phdr(type=c.PT_LOAD, flags=0, offset=0x1000, vaddr=0x400000,
+                 paddr=0, filesz=0x100, memsz=0x200, align=0x1000)
+        assert p.contains_vaddr(0x400000)
+        assert p.contains_vaddr(0x4001FF)
+        assert not p.contains_vaddr(0x400200)
+        assert p.contains_offset(0x10FF)
+        assert not p.contains_offset(0x1100)
+
+
+class TestShdr:
+    def test_roundtrip(self):
+        s = Shdr(1, c.SHT_PROGBITS, c.SHF_ALLOC | c.SHF_EXECINSTR,
+                 0x401000, 0x1000, 0x200, 0, 0, 16, 0)
+        assert Shdr.unpack(s.pack(), 0) == s

@@ -1,0 +1,90 @@
+"""Symbol-table parsing units (crafted tables, ifunc handling)."""
+
+import struct
+
+from repro.elf import constants as c
+from repro.elf.builder import hello_world
+from repro.elf.reader import ElfFile
+from repro.elf.structs import Shdr
+from repro.elf.symbols import (
+    PREINIT_FUNCTIONS,
+    STT_FUNC,
+    STT_GNU_IFUNC,
+    function_ranges,
+    function_symbols,
+)
+
+
+def craft(symbols):
+    """Append a .symtab/.strtab pair to a hello-world image."""
+    base = bytearray(hello_world())
+    elf = ElfFile(bytes(base))
+    text = elf.section(".text")
+
+    names = bytearray(b"\x00")
+    sym_blob = bytearray(b"\x00" * 24)  # null symbol
+    for name, value, size, kind in symbols:
+        off = len(names)
+        names += name.encode() + b"\x00"
+        info = (1 << 4) | kind  # STB_GLOBAL
+        sym_blob += struct.pack("<IBBHQQ", off, info, 0, 1,
+                                text.vaddr + value, size)
+
+    sym_off = len(base)
+    base += sym_blob
+    str_off = len(base)
+    base += names
+
+    # Rebuild the section table with .symtab/.strtab appended.
+    shstr = b"\x00.text\x00.data\x00.shstrtab\x00.symtab\x00.strtab\x00"
+    shstr_off = len(base)
+    base += shstr
+    shdrs = list(elf.shdrs)
+    shdrs[3] = Shdr(13, c.SHT_STRTAB, 0, 0, shstr_off, len(shstr), 0, 0, 1, 0)
+    strtab_index = len(shdrs) + 1
+    shdrs.append(Shdr(23, c.SHT_SYMTAB, 0, 0, sym_off, len(sym_blob),
+                      strtab_index, 1, 8, 24))
+    shdrs.append(Shdr(31, c.SHT_STRTAB, 0, 0, str_off, len(names), 0, 0, 1, 0))
+    sh_off = len(base)
+    for s in shdrs:
+        base += s.pack()
+    hdr = bytearray(base[:c.EHDR_SIZE])
+    hdr[0x28:0x30] = sh_off.to_bytes(8, "little")  # e_shoff
+    hdr[0x3C:0x3E] = len(shdrs).to_bytes(2, "little")  # e_shnum
+    base[:c.EHDR_SIZE] = hdr
+    return ElfFile(bytes(base))
+
+
+class TestCraftedSymtab:
+    def test_func_symbols_found(self):
+        elf = craft([("alpha", 0, 8, STT_FUNC), ("beta", 8, 4, STT_FUNC)])
+        names = [s.name for s in function_symbols(elf)]
+        assert names == ["alpha", "beta"]
+
+    def test_ifunc_excluded_by_default(self):
+        elf = craft([("resolver", 0, 8, STT_GNU_IFUNC),
+                     ("normal", 8, 4, STT_FUNC)])
+        assert [s.name for s in function_symbols(elf)] == ["normal"]
+        included = function_symbols(elf, include_ifunc_resolvers=True)
+        assert {s.name for s in included} == {"resolver", "normal"}
+        resolver = next(s for s in included if s.name == "resolver")
+        assert resolver.is_ifunc
+
+    def test_zero_size_skipped(self):
+        elf = craft([("empty", 0, 0, STT_FUNC), ("real", 8, 4, STT_FUNC)])
+        assert [s.name for s in function_symbols(elf)] == ["real"]
+
+    def test_overlapping_aliases_merged(self):
+        elf = craft([("f", 0, 16, STT_FUNC), ("f_alias", 4, 4, STT_FUNC)])
+        assert len(function_ranges(elf, exclude=frozenset())) == 1
+
+    def test_preinit_exclusion(self):
+        elf = craft([("__libc_early_init", 0, 8, STT_FUNC),
+                     ("ok", 8, 4, STT_FUNC)])
+        spans = function_ranges(elf)  # default excludes pre-init set
+        assert len(spans) == 1
+        assert "__libc_early_init" in PREINIT_FUNCTIONS
+
+    def test_out_of_text_symbols_dropped(self):
+        elf = craft([("wild", 0x100000, 8, STT_FUNC)])
+        assert function_symbols(elf) == []

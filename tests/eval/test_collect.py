@@ -1,0 +1,30 @@
+"""The RESULTS.md collector."""
+
+import pathlib
+
+from repro.eval.collect import collect, main
+
+
+class TestCollect:
+    def test_collect_existing_artifacts(self, tmp_path):
+        (tmp_path / "table1_spec.txt").write_text("row1\nrow2\n")
+        (tmp_path / "ablation_b0.txt").write_text("b0 numbers\n")
+        text = collect(tmp_path)
+        assert "## Table 1 — SPEC2006" in text
+        assert "row1" in text
+        assert "Missing artifacts" in text  # others absent
+
+    def test_all_present_no_missing_section(self, tmp_path):
+        from repro.eval.collect import SECTIONS
+
+        for name, _, _ in SECTIONS:
+            (tmp_path / name).write_text("x\n")
+        text = collect(tmp_path)
+        assert "Missing artifacts" not in text
+
+    def test_main_writes_file(self, tmp_path, capsys):
+        (tmp_path / "table1_spec.txt").write_text("data\n")
+        target = tmp_path / "RESULTS.md"
+        assert main([str(tmp_path), str(target)]) == 0
+        assert target.exists()
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,126 @@
+"""Evaluation harness tests: smoke runs + shape assertions matching the
+paper's headline claims (small configurations to stay fast)."""
+
+import pytest
+
+from repro.eval.ablation import (
+    b0_slowdown,
+    coverage_without_t3,
+    grouping_size_blowup,
+    pie_effect,
+    scale_invariance,
+)
+from repro.eval.dromaeo import (
+    DROMAEO_SUITES,
+    format_dromaeo,
+    geometric_mean,
+    run_dromaeo,
+)
+from repro.eval.fig5 import format_fig5, run_one
+from repro.eval.table1 import aggregate, format_table, run_row
+from repro.synth.profiles import profile_by_name
+
+
+class TestTable1Harness:
+    def test_row_fields(self):
+        row = run_row(profile_by_name("bzip2"), "A1")
+        assert row.locs > 0
+        total = row.base_pct + row.t1_pct + row.t2_pct + row.t3_pct
+        assert abs(total - row.succ_pct) < 0.01
+        assert row.size_pct > 100.0
+        assert row.paper.locs == 1484
+
+    def test_time_measurement(self):
+        row = run_row(profile_by_name("mcf"), "A1", measure_time=True)
+        assert row.time_pct is not None
+        assert row.time_pct > 100.0  # instrumentation always costs
+
+    def test_pie_beats_nonpie_baseline(self):
+        """Paper: 'Even the baseline (Base%) for PIE binaries is >93%.'"""
+        pie_row = run_row(profile_by_name("vim"), "A1")
+        nonpie_row = run_row(profile_by_name("gcc"), "A1")
+        assert pie_row.base_pct > 93.0
+        assert pie_row.base_pct > nonpie_row.base_pct
+
+    def test_success_always_high(self):
+        """Paper: coverage at or near 100% for ordinary binaries."""
+        for name in ("bzip2", "povray", "git"):
+            for app in ("A1", "A2"):
+                row = run_row(profile_by_name(name), app)
+                assert row.succ_pct >= 99.0, (name, app)
+
+    def test_format_and_aggregate(self):
+        rows = [run_row(profile_by_name("mcf"), a) for a in ("A1", "A2")]
+        text = format_table(rows)
+        assert "Base%" in text and "(paper)" in text
+        agg = aggregate(rows)
+        assert agg["locs"] == sum(r.locs for r in rows)
+        assert 0 < agg["succ_pct"] <= 100.0
+
+
+class TestAblations:
+    def test_no_t3_coverage_drops(self):
+        """Paper: without T3 overall A1 coverage drops to ~90.5%; the
+        effect is strongest on T3-heavy rows like gamess."""
+        full, no_t3 = coverage_without_t3(profile_by_name("gamess"))
+        assert no_t3 < full
+        assert full >= 99.0
+        assert no_t3 < 98.0
+
+    def test_grouping_shrinks_file(self):
+        """Paper: disabling grouping balloons the output size."""
+        grouped, naive = grouping_size_blowup(profile_by_name("bzip2"))
+        assert naive > grouped
+        assert naive / grouped > 1.5
+
+    def test_pie_effect(self):
+        nonpie, pie = pie_effect(profile_by_name("gcc"))
+        assert pie > nonpie
+
+    def test_scale_invariance(self):
+        succ = scale_invariance(profile_by_name("mcf"), factors=(1.0, 4.0))
+        assert max(succ) - min(succ) < 5.0
+
+    def test_b0_orders_of_magnitude_slower(self):
+        jump_pct, b0_pct = b0_slowdown(n_sites=15, loop_iters=1)
+        assert jump_pct < 400.0
+        assert b0_pct > 10 * jump_pct  # "orders of magnitude"
+
+
+class TestDromaeo:
+    def test_suite_table_complete(self):
+        assert len(DROMAEO_SUITES) == 14  # as in Figure 4
+
+    def test_firefox_less_sensitive_than_chrome(self):
+        """Figure 4's headline: Chrome ~113% vs FireFox ~46% overhead."""
+        suites = ["Attrib", "Modify", "Traverse"]
+        results = run_dromaeo(browsers=("Chrome", "FireFox"), suites=suites)
+        chrome = geometric_mean([r.overhead_pct for r in results
+                                 if r.browser == "Chrome"])
+        firefox = geometric_mean([r.overhead_pct for r in results
+                                  if r.browser == "FireFox"])
+        assert chrome > firefox > 100.0
+
+    def test_mutation_suites_cost_more_than_traversal(self):
+        results = run_dromaeo(browsers=("Chrome",),
+                              suites=["Modify", "Traverse"])
+        by_suite = {r.suite: r.overhead_pct for r in results}
+        assert by_suite["Modify"] > by_suite["Traverse"]
+
+    def test_format(self):
+        results = run_dromaeo(browsers=("Chrome",), suites=["Query"])
+        text = format_dromaeo(results)
+        assert "Query" in text and "Geom.Mean" in text
+
+
+class TestFig5:
+    def test_lowfat_costs_more_than_empty(self):
+        """Figure 5's headline: LowFat checks roughly double the empty-
+        instrumentation overhead."""
+        row = run_one(profile_by_name("mcf"))
+        assert row.lowfat_pct > row.empty_pct > 100.0
+
+    def test_format(self):
+        row = run_one(profile_by_name("lbm"))
+        text = format_fig5([row])
+        assert "lbm" in text and "Mean" in text

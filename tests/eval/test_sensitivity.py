@@ -1,0 +1,16 @@
+"""Cost-model sensitivity harness."""
+
+from repro.eval.sensitivity import format_sensitivity, run_sensitivity
+from repro.synth.profiles import profile_by_name
+
+
+class TestSensitivity:
+    def test_ranking_helpers(self):
+        profiles = [profile_by_name(n) for n in ("mcf", "lbm")]
+        result = run_sensitivity(profiles, weights=(0, 2), loop_iters=1)
+        assert set(result.overheads) == {"mcf", "lbm"}
+        for row in result.overheads.values():
+            assert all(v > 100.0 for v in row.values())
+        assert len(result.ranking(0)) == 2
+        text = format_sensitivity(result)
+        assert "ranking stable" in text

@@ -1,0 +1,50 @@
+"""The protocol's stdin/stdout service mode (the e9tool<->e9patch
+subprocess split)."""
+
+import base64
+import json
+import subprocess
+import sys
+
+from repro.synth.generator import SynthesisParams, synthesize
+from repro.vm.machine import run_elf
+
+
+class TestServiceMode:
+    def test_subprocess_pipeline(self, tmp_path):
+        binary = synthesize(SynthesisParams(
+            n_jump_sites=10, n_write_sites=5, seed=777, loop_iters=1))
+        orig = run_elf(binary.data)
+        out_path = tmp_path / "out.elf"
+        requests = [
+            {"jsonrpc": "2.0", "id": 1, "method": "binary",
+             "params": {"data": base64.b64encode(binary.data).decode()}},
+            {"jsonrpc": "2.0", "id": 2, "method": "patch",
+             "params": {"address": binary.jump_sites[0]}},
+            {"jsonrpc": "2.0", "id": 3, "method": "emit",
+             "params": {"filename": str(out_path), "return_data": False}},
+        ]
+        stdin = "\n".join(json.dumps(r) for r in requests) + "\n"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.frontend.protocol"],
+            input=stdin, capture_output=True, text=True, timeout=60)
+        assert proc.returncode == 0
+        responses = [json.loads(ln) for ln in proc.stdout.splitlines()]
+        assert len(responses) == 3
+        assert all("result" in r for r in responses), responses
+        assert run_elf(out_path.read_bytes()).observable == orig.observable
+
+    def test_errors_do_not_kill_the_service(self):
+        stdin = "\n".join([
+            "{bad json",
+            json.dumps({"jsonrpc": "2.0", "id": 1, "method": "nope"}),
+            json.dumps({"jsonrpc": "2.0", "id": 2, "method": "patch",
+                        "params": {"address": 1}}),
+        ]) + "\n"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.frontend.protocol"],
+            input=stdin, capture_output=True, text=True, timeout=60)
+        assert proc.returncode == 0
+        responses = [json.loads(ln) for ln in proc.stdout.splitlines()]
+        assert len(responses) == 3
+        assert all("error" in r for r in responses)

@@ -1,0 +1,222 @@
+"""Native shared-library rewriting and the paper's mixing claim.
+
+Section 5.1: because E9Patch never moves instructions, patched and
+non-patched binaries mix freely — "the main executable may be patched
+but the library dependencies need not be, or vice versa".  We build a
+real executable + shared library pair with gcc and test every
+combination; the library's loader stub is installed by hijacking
+DT_INIT.
+"""
+
+from __future__ import annotations
+
+import os
+import stat
+import subprocess
+
+import pytest
+
+from repro import RewriteOptions, instrument_elf
+from repro.elf.dynamic import find_init
+from repro.elf.reader import ElfFile
+from tests.conftest import HAVE_GCC, HAVE_NATIVE
+
+requires_toolchain = pytest.mark.skipif(
+    not (HAVE_NATIVE and HAVE_GCC), reason="requires gcc on x86-64 Linux"
+)
+
+_LIB_SOURCE = r"""
+#include <stdlib.h>
+#include <string.h>
+static long table[64];
+long foo_compute(long n) {
+    long *buf = malloc(64 * sizeof(long));
+    long acc = 0;
+    for (int i = 0; i < 64; i++) {
+        buf[i] = n * i + (i % 7);
+        table[i] ^= buf[i];
+        if (buf[i] & 1) acc += buf[i]; else acc -= table[i];
+    }
+    memcpy(table, buf, sizeof table);
+    free(buf);
+    return acc;
+}
+"""
+
+_MAIN_SOURCE = r"""
+#include <stdio.h>
+extern long foo_compute(long);
+int main(void) {
+    long total = 0;
+    for (int i = 1; i <= 10; i++) total ^= foo_compute(i);
+    printf("%ld\n", total);
+    return (int)(total & 0x1f);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def lib_pair(tmp_path_factory):
+    if not (HAVE_NATIVE and HAVE_GCC):
+        pytest.skip("requires gcc on x86-64 Linux")
+    root = tmp_path_factory.mktemp("sotest")
+    (root / "libfoo.c").write_text(_LIB_SOURCE)
+    (root / "main.c").write_text(_MAIN_SOURCE)
+    lib = root / "libfoo.so"
+    exe = root / "main"
+    r1 = subprocess.run(["gcc", "-shared", "-fPIC", "-O2",
+                         "-o", str(lib), str(root / "libfoo.c")],
+                        capture_output=True)
+    r2 = subprocess.run(["gcc", "-O2", "-o", str(exe), str(root / "main.c"),
+                         f"-L{root}", "-lfoo"], capture_output=True)
+    if r1.returncode or r2.returncode:
+        pytest.skip("gcc failed to build the library pair")
+    return root, exe, lib
+
+
+def run_pair(exe, libdir, timeout=20):
+    env = dict(os.environ, LD_LIBRARY_PATH=str(libdir))
+    proc = subprocess.run([str(exe)], capture_output=True, env=env,
+                          timeout=timeout)
+    return proc.returncode, proc.stdout
+
+
+def patch_library(lib_path, out_dir, matcher="jumps"):
+    out_dir.mkdir(exist_ok=True)
+    out_path = out_dir / "libfoo.so"
+    data = lib_path.read_bytes()
+    report = instrument_elf(
+        data, matcher,
+        options=RewriteOptions(mode="loader", shared=True,
+                               library_path=str(out_path)),
+    )
+    out_path.write_bytes(report.result.data)
+    return report, out_path
+
+
+@requires_toolchain
+class TestSharedLibraryRewriting:
+    def test_library_has_dt_init(self, lib_pair):
+        _, _, lib = lib_pair
+        assert find_init(ElfFile(lib.read_bytes())) is not None
+
+    def test_patched_library_behaviour(self, lib_pair):
+        root, exe, lib = lib_pair
+        ref = run_pair(exe, root)
+        report, _ = patch_library(lib, root / "p1")
+        assert report.stats.success_pct == 100.0
+        assert run_pair(exe, root / "p1") == ref
+
+    def test_patched_library_heap_writes(self, lib_pair):
+        root, exe, lib = lib_pair
+        ref = run_pair(exe, root)
+        patch_library(lib, root / "p2", matcher="heap-writes")
+        assert run_pair(exe, root / "p2") == ref
+
+    def test_mixing_patched_exe_unpatched_lib(self, lib_pair):
+        root, exe, lib = lib_pair
+        ref = run_pair(exe, root)
+        report = instrument_elf(exe.read_bytes(), "jumps",
+                                options=RewriteOptions(mode="loader"))
+        patched_exe = root / "main.patched"
+        patched_exe.write_bytes(report.result.data)
+        patched_exe.chmod(patched_exe.stat().st_mode | stat.S_IXUSR)
+        assert run_pair(patched_exe, root) == ref
+
+    def test_mixing_both_patched(self, lib_pair):
+        root, exe, lib = lib_pair
+        ref = run_pair(exe, root)
+        patch_library(lib, root / "p3")
+        report = instrument_elf(exe.read_bytes(), "jumps",
+                                options=RewriteOptions(mode="loader"))
+        patched_exe = root / "main.patched2"
+        patched_exe.write_bytes(report.result.data)
+        patched_exe.chmod(patched_exe.stat().st_mode | stat.S_IXUSR)
+        assert run_pair(patched_exe, root / "p3") == ref
+
+    def test_wrong_library_path_fails_loud(self, lib_pair):
+        """The stub must diagnose a bad embedded path, not crash later."""
+        root, exe, lib = lib_pair
+        out_dir = root / "p4"
+        out_dir.mkdir(exist_ok=True)
+        data = lib.read_bytes()
+        report = instrument_elf(
+            data, "jumps",
+            options=RewriteOptions(mode="loader", shared=True,
+                                   library_path="/nonexistent/libfoo.so"),
+        )
+        (out_dir / "libfoo.so").write_bytes(report.result.data)
+        code, _ = run_pair(exe, out_dir)
+        assert code == 127  # LOADER_FAIL_EXIT
+
+    def test_library_path_required(self, lib_pair):
+        from repro.errors import PatchError
+
+        _, _, lib = lib_pair
+        with pytest.raises(PatchError):
+            instrument_elf(lib.read_bytes(), "jumps",
+                           options=RewriteOptions(mode="loader", shared=True))
+
+
+LIBC = "/lib/x86_64-linux-gnu/libc.so.6"
+
+
+@requires_toolchain
+class TestSystemLibc:
+    """The paper's Table 1 includes libc.so; we go further and *run*
+    programs against the instrumented copy.
+
+    The working recipe (each ingredient is load-bearing — see
+    EXPERIMENTS.md):
+
+    * symbol-guided frontend — glibc's hand-written assembly embeds data
+      in .text that desynchronizes a whole-section linear sweep;
+    * STT_GNU_IFUNC resolvers and the pre-init functions
+      (``__libc_early_init``, ``getrlimit``) are never patched — the
+      dynamic linker executes them before any constructor can map the
+      trampolines;
+    * the loader stub is installed by patching the first DT_INIT_ARRAY
+      slot's RELATIVE relocation addend (glibc has no DT_INIT);
+    * zero-fill reservation PT_LOADs cover the trampoline span so the
+      stub's MAP_FIXED mmaps land inside the library's own mapping.
+    """
+
+    @pytest.mark.slow
+    def test_programs_run_against_instrumented_libc(self, tmp_path,
+                                                    compiled_corpus):
+        if not os.path.exists(LIBC):
+            pytest.skip("system libc not found")
+        data = open(LIBC, "rb").read()
+        libdir = tmp_path / "libc"
+        libdir.mkdir()
+        out_path = libdir / "libc.so.6"
+        report = instrument_elf(
+            data, "jumps",
+            options=RewriteOptions(mode="loader", shared=True,
+                                   library_path=str(out_path)),
+            frontend="symbols")
+        assert report.n_sites > 10000
+        assert report.stats.success_pct > 99.0
+        out_path.write_bytes(report.result.data)
+
+        env = dict(os.environ, LD_LIBRARY_PATH=str(libdir))
+        # A compiled program, repeated runs with varying environment
+        # sizes (stack layout shifts exercise different libc paths).
+        exe = next(iter(compiled_corpus.values()))
+        ref = subprocess.run([str(exe)], capture_output=True, timeout=30)
+        for i in range(5):
+            padded = dict(env, PAD="x" * (701 * i))
+            out = subprocess.run([str(exe)], capture_output=True, env=padded,
+                                 timeout=60)
+            assert (out.returncode, out.stdout) == (ref.returncode, ref.stdout)
+        # And a few real system tools.
+        for cmd, stdin in ((["/bin/echo", "patched"], b""),
+                           (["/usr/bin/sort", "-r"], b"a\nb\n"),
+                           (["/usr/bin/md5sum"], b"data")):
+            if not os.path.exists(cmd[0]):
+                continue
+            ref = subprocess.run(cmd, capture_output=True, input=stdin,
+                                 timeout=30)
+            out = subprocess.run(cmd, capture_output=True, input=stdin,
+                                 env=env, timeout=60)
+            assert (out.returncode, out.stdout) == (ref.returncode, ref.stdout)

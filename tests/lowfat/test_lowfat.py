@@ -1,0 +1,118 @@
+"""LowFat pointer arithmetic and allocator invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lowfat.lowfat import (
+    REDZONE_SIZE,
+    LowFatAllocator,
+    LowFatLayout,
+)
+
+
+class TestLayout:
+    def setup_method(self):
+        self.layout = LowFatLayout()
+
+    def test_region_index(self):
+        base = self.layout.region_base
+        assert self.layout.region_index(base) == 0
+        assert self.layout.region_index(base + self.layout.region_size) == 1
+        assert self.layout.region_index(base - 1) is None
+        top = base + len(self.layout.sizes) * self.layout.region_size
+        assert self.layout.region_index(top) is None
+
+    def test_non_lowfat_pointers(self):
+        assert not self.layout.is_lowfat(0x400000)
+        assert self.layout.base(0x400000) is None
+        assert self.layout.check_write(0x400000)  # always passes
+
+    def test_base_and_size(self):
+        start = self.layout.region_start(2)  # 128-byte class
+        p = start + 3 * 128 + 57
+        assert self.layout.size(p) == 128
+        assert self.layout.base(p) == start + 3 * 128
+
+    def test_class_for(self):
+        assert self.layout.sizes[self.layout.class_for(1)] >= 1 + REDZONE_SIZE
+        assert self.layout.class_for(16) == 0  # 16+16=32 fits class 32
+        assert self.layout.class_for(17) == 1
+        assert self.layout.class_for(10**9) is None
+
+    def test_check_write_redzone(self):
+        start = self.layout.region_start(0)  # 32-byte objects
+        obj = start + 5 * 32
+        for off in range(REDZONE_SIZE):
+            assert not self.layout.check_write(obj + off)
+        for off in range(REDZONE_SIZE, 32):
+            assert self.layout.check_write(obj + off)
+
+    @given(st.integers(0, 8), st.integers(0, 10**6))
+    def test_base_divides_pointer(self, cls, offset):
+        layout = LowFatLayout()
+        if cls >= len(layout.sizes):
+            return
+        p = layout.region_start(cls) + offset
+        if layout.region_index(p) != cls:
+            return
+        base = layout.base(p)
+        size = layout.sizes[cls]
+        assert base is not None
+        assert base % size == 0
+        assert base <= p < base + size
+
+
+class TestAllocator:
+    def test_malloc_returns_payload_past_redzone(self):
+        alloc = LowFatAllocator()
+        p = alloc.malloc(100)
+        layout = alloc.layout
+        assert layout.is_lowfat(p)
+        assert p - layout.base(p) == REDZONE_SIZE
+        assert layout.check_write(p)
+        assert not layout.check_write(p - 1)
+
+    def test_size_class_selection(self):
+        alloc = LowFatAllocator()
+        p = alloc.malloc(100)  # 100+16 -> 128 class
+        assert alloc.layout.size(p) == 128
+        assert alloc.usable_size(p) == 112
+
+    def test_distinct_allocations(self):
+        alloc = LowFatAllocator()
+        ptrs = [alloc.malloc(40) for _ in range(10)]
+        assert len(set(ptrs)) == 10
+        bases = [alloc.layout.base(p) for p in ptrs]
+        assert len(set(bases)) == 10
+
+    def test_free_and_reuse(self):
+        alloc = LowFatAllocator()
+        p = alloc.malloc(40)
+        alloc.free(p)
+        q = alloc.malloc(40)
+        assert q == p  # free list reuse
+
+    def test_double_free_rejected(self):
+        alloc = LowFatAllocator()
+        p = alloc.malloc(8)
+        alloc.free(p)
+        with pytest.raises(ValueError):
+            alloc.free(p)
+
+    def test_oversized_rejected(self):
+        alloc = LowFatAllocator()
+        with pytest.raises(MemoryError):
+            alloc.malloc(10**9)
+
+    @given(st.lists(st.integers(1, 60000), min_size=1, max_size=50))
+    def test_allocations_never_overlap(self, sizes):
+        alloc = LowFatAllocator()
+        spans = []
+        for req in sizes:
+            p = alloc.malloc(req)
+            base = alloc.layout.base(p)
+            size = alloc.layout.size(p)
+            spans.append((base, base + size))
+        spans.sort()
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(spans, spans[1:]):
+            assert a_hi <= b_lo

@@ -1,0 +1,90 @@
+"""The injected machine-code redzone checker, exercised in the VM."""
+
+from repro.elf import constants as elfc
+from repro.elf.builder import TinyProgram
+from repro.lowfat.lowfat import REDZONE_SIZE, LowFatLayout
+from repro.lowfat.runtime import (
+    VIOLATION_EXIT_CODE,
+    VIOLATION_MESSAGE,
+    build_check_function,
+    check_function_size,
+)
+from repro.vm.machine import run_elf
+from repro.x86.decoder import decode_buffer
+
+
+def checker_program(probe_ptr: int) -> bytes:
+    """Build a program that calls the checker with rdi=probe_ptr, then
+    exits 0 (reached only if the check passes)."""
+    layout = LowFatLayout()
+    prog = TinyProgram()
+    # Map the lowfat region page so nothing faults (checker reads no
+    # memory, but keep symmetry with real hardening setups).
+    a = prog.text
+    a.mov_imm64(7, probe_ptr)  # rdi
+    a.call("check")
+    a.mov_imm32(7, 0)
+    a.mov_imm32(0, elfc.SYS_EXIT)
+    a.syscall()
+    a.label("check")
+    a.raw(build_check_function(layout, a.here))
+    return prog.build()
+
+
+class TestCheckFunction:
+    def test_size_is_address_independent(self):
+        layout = LowFatLayout()
+        assert len(build_check_function(layout, 0x1000)) == check_function_size(layout)
+        assert len(build_check_function(layout, 0x7000000)) == check_function_size(layout)
+
+    def test_decodes_cleanly(self):
+        code = build_check_function(LowFatLayout(), 0x500000)
+        insns = decode_buffer(code, address=0x500000)
+        # Code portion (before data tables) must contain no (bad) bytes
+        # until the ret.
+        upto_ret = []
+        for i in insns:
+            upto_ret.append(i)
+            if i.mnemonic == "ret":
+                break
+        assert all(i.mnemonic != "(bad)" for i in upto_ret)
+
+    def test_non_lowfat_pointer_passes(self):
+        r = run_elf(checker_program(0x400000))
+        assert r.exit_code == 0
+        assert r.stdout == b""
+
+    def test_valid_payload_passes(self):
+        layout = LowFatLayout()
+        obj = layout.region_start(3)  # 256-byte class
+        r = run_elf(checker_program(obj + REDZONE_SIZE))
+        assert r.exit_code == 0
+
+    def test_last_byte_of_object_passes(self):
+        layout = LowFatLayout()
+        obj = layout.region_start(3)
+        r = run_elf(checker_program(obj + 255))
+        assert r.exit_code == 0
+
+    def test_redzone_pointer_violates(self):
+        layout = LowFatLayout()
+        obj = layout.region_start(3) + 256 * 7  # some object
+        for off in (0, 1, REDZONE_SIZE - 1):
+            r = run_elf(checker_program(obj + off))
+            assert r.exit_code == VIOLATION_EXIT_CODE
+            assert r.stdout == VIOLATION_MESSAGE
+
+    def test_pointer_above_regions_passes(self):
+        layout = LowFatLayout()
+        top = layout.region_base + len(layout.sizes) * layout.region_size
+        r = run_elf(checker_program(top + 123))
+        assert r.exit_code == 0
+
+    def test_every_size_class_boundary(self):
+        layout = LowFatLayout()
+        for idx, size in enumerate(layout.sizes):
+            start = layout.region_start(idx)
+            assert run_elf(checker_program(start + size + REDZONE_SIZE)).exit_code == 0
+            assert run_elf(
+                checker_program(start + size)
+            ).exit_code == VIOLATION_EXIT_CODE

@@ -1,0 +1,51 @@
+"""Sanity of the transcribed Table 1 reference data."""
+
+from repro.synth.profiles import (
+    ALL_PROFILES,
+    BROWSER_PROFILES,
+    SPEC_PROFILES,
+    SYSTEM_PROFILES,
+    profile_by_name,
+)
+
+
+class TestProfiles:
+    def test_counts_match_paper(self):
+        assert len(SPEC_PROFILES) == 28  # full SPEC2006 minus 481.wrf
+        assert len(SYSTEM_PROFILES) == 10
+        assert len(BROWSER_PROFILES) == 3
+        assert len(ALL_PROFILES) == 41
+
+    def test_total_jump_locations_matches_paper_total(self):
+        # The paper's #Total row: 613,619 jump locations over SPEC.
+        assert sum(p.a1.locs for p in SPEC_PROFILES) == 613619
+
+    def test_total_write_locations_matches_paper_total(self):
+        assert sum(p.a2.locs for p in SPEC_PROFILES) == 636013
+
+    def test_percentages_sum_to_success(self):
+        for p in ALL_PROFILES:
+            for row in (p.a1, p.a2):
+                parts = row.base_pct + row.t1_pct + row.t2_pct + row.t3_pct
+                assert abs(parts - row.succ_pct) < 0.15, p.name
+
+    def test_pie_flags(self):
+        assert profile_by_name("Chrome").pie
+        assert profile_by_name("vim").pie
+        assert not profile_by_name("gcc").pie
+        assert profile_by_name("libxul.so").shared
+
+    def test_l1_profiles_have_bss(self):
+        assert profile_by_name("gamess").bss_mb > 0
+        assert profile_by_name("zeusmp").bss_mb > 0
+        assert profile_by_name("gcc").bss_mb == 0
+
+    def test_unknown_profile_raises(self):
+        import pytest
+
+        with pytest.raises(KeyError):
+            profile_by_name("doom")
+
+    def test_seeds_distinct(self):
+        seeds = {p.seed for p in ALL_PROFILES}
+        assert len(seeds) == len(ALL_PROFILES)

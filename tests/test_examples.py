@@ -1,0 +1,52 @@
+"""Every example script must run to completion (examples are part of the
+public deliverable and must not rot)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST = [
+    "quickstart.py",
+    "tactics_tour.py",
+    "patch_cve.py",
+    "harden_heap_writes.py",
+    "fuzz_coverage.py",
+    "protocol_session.py",
+]
+
+SLOW = [
+    "rewrite_system_binary.py",  # rewrites /bin/ls
+    "fuzz_loop.py",  # thousands of VM executions
+    "instrument_libc.py",  # rewrites glibc
+]
+
+
+def run_example(name: str, timeout: float):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_example(name):
+    out = run_example(name, timeout=120)
+    assert out.strip(), "examples must narrate what they demonstrate"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", SLOW)
+def test_slow_example(name):
+    out = run_example(name, timeout=400)
+    assert out.strip()
+
+
+def test_every_example_listed():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(FAST) | set(SLOW)

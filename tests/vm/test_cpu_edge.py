@@ -1,0 +1,169 @@
+"""CPU edge-case semantics: carry chains, wide multiply/divide, string
+direction flag, memory-destination forms."""
+
+from hypothesis import given, strategies as st
+
+from tests.vm.test_cpu import CODE, DATA, MASK, RAX, RBX, RCX, RDX, RDI, RSI, make_cpu, run
+
+
+class TestCarryChains:
+    def test_adc_propagates_carry(self):
+        # add rax, rbx (sets CF) ; adc rcx, 0
+        def setup(c):
+            c.state.set(RAX, MASK[8])
+            c.state.set(RBX, 1)
+            c.state.set(RCX, 5)
+        cpu = run("48 01 d8  48 83 d1 00", setup=setup)
+        assert cpu.state.regs[RAX] == 0
+        assert cpu.state.regs[RCX] == 6  # carry added
+
+    def test_sbb_propagates_borrow(self):
+        def setup(c):
+            c.state.set(RAX, 0)
+            c.state.set(RBX, 1)
+            c.state.set(RCX, 5)
+        cpu = run("48 29 d8  48 83 d9 00", setup=setup)  # sub; sbb rcx, 0
+        assert cpu.state.regs[RCX] == 4
+
+    @given(st.integers(0, MASK[8]), st.integers(0, MASK[8]),
+           st.integers(0, MASK[8]), st.integers(0, MASK[8]))
+    def test_128bit_add_via_adc(self, alo, ahi, blo, bhi):
+        """(ahi:alo) + (bhi:blo) computed with add+adc must equal Python's
+        arbitrary-precision result."""
+        def setup(c):
+            c.state.set(RAX, alo)
+            c.state.set(RDX, ahi)
+            c.state.set(RBX, blo)
+            c.state.set(RCX, bhi)
+        cpu = run("48 01 d8  48 11 ca", setup=setup)  # add rax,rbx; adc rdx,rcx
+        total = (ahi << 64 | alo) + (bhi << 64 | blo)
+        assert cpu.state.regs[RAX] == total & MASK[8]
+        assert cpu.state.regs[RDX] == (total >> 64) & MASK[8]
+
+
+class TestWideMulDiv:
+    @given(st.integers(0, MASK[8]), st.integers(0, MASK[8]))
+    def test_mul_full_product(self, a, b):
+        def setup(c):
+            c.state.set(RAX, a)
+            c.state.set(RBX, b)
+        cpu = run("48 f7 e3", steps=1, setup=setup)  # mul rbx
+        product = a * b
+        assert cpu.state.regs[RAX] == product & MASK[8]
+        assert cpu.state.regs[RDX] == product >> 64
+
+    @given(st.integers(-(1 << 31), (1 << 31) - 1),
+           st.integers(1, (1 << 20)))
+    def test_idiv_signed(self, a, b):
+        def setup(c):
+            value = a & MASK[8]
+            c.state.set(RAX, value)
+            c.state.set(RDX, MASK[8] if a < 0 else 0)  # sign-extended
+            c.state.set(RBX, b)
+        cpu = run("48 f7 fb", steps=1, setup=setup)  # idiv rbx
+        quotient = int(a / b)  # x86 truncates toward zero
+        remainder = a - quotient * b
+        assert cpu.state.regs[RAX] == quotient & MASK[8]
+        assert cpu.state.regs[RDX] == remainder & MASK[8]
+
+    def test_cqo_then_idiv(self):
+        def setup(c):
+            c.state.set(RAX, (-100) & MASK[8])
+            c.state.set(RBX, 7)
+        cpu = run("48 99  48 f7 fb", setup=setup)  # cqo; idiv rbx
+        assert cpu.state.regs[RAX] == (-14) & MASK[8]
+        assert cpu.state.regs[RDX] == (-2) & MASK[8]
+
+
+class TestStringDirection:
+    def test_std_reverses_stos(self):
+        def setup(c):
+            c.state.set(RDI, DATA + 24)
+            c.state.set(RAX, 0x11)
+            c.state.set(RCX, 2)
+        cpu = run("fd f3 48 ab fc", setup=setup)  # std; rep stosq; cld
+        assert cpu.mem.read_u64(DATA + 24) == 0x11
+        assert cpu.mem.read_u64(DATA + 16) == 0x11
+        assert cpu.state.regs[RDI] == DATA + 8
+        assert cpu.state.df is False  # cld restored
+
+
+class TestMemoryDestinations:
+    def test_add_to_memory(self):
+        def setup(c):
+            c.state.set(RBX, DATA)
+            c.mem.write_u64(DATA, 40)
+            c.state.set(RAX, 2)
+        cpu = run("48 01 03", steps=1, setup=setup)  # add [rbx], rax
+        assert cpu.mem.read_u64(DATA) == 42
+
+    def test_inc_memory(self):
+        def setup(c):
+            c.state.set(RBX, DATA)
+            c.mem.write_u64(DATA, 7)
+        cpu = run("48 ff 03", steps=1, setup=setup)
+        assert cpu.mem.read_u64(DATA) == 8
+
+    def test_not_neg_memory(self):
+        def setup(c):
+            c.state.set(RBX, DATA)
+            c.mem.write_u64(DATA, 1)
+        cpu = run("48 f7 13  48 f7 1b", setup=setup)  # not; neg
+        assert cpu.mem.read_u64(DATA) == 2  # neg(~1) = 2
+
+    def test_setcc_to_memory(self):
+        def setup(c):
+            c.state.set(RBX, DATA)
+            c.state.zf = True
+        cpu = run("0f 94 03", steps=1, setup=setup)  # sete [rbx]
+        assert cpu.mem.read(DATA, 1) == b"\x01"
+
+    def test_xchg_with_memory(self):
+        def setup(c):
+            c.state.set(RBX, DATA)
+            c.mem.write_u64(DATA, 0xAA)
+            c.state.set(RAX, 0xBB)
+        cpu = run("48 87 03", steps=1, setup=setup)
+        assert cpu.state.regs[RAX] == 0xAA
+        assert cpu.mem.read_u64(DATA) == 0xBB
+
+    def test_push_pop_memory(self):
+        def setup(c):
+            c.state.set(RBX, DATA)
+            c.mem.write_u64(DATA, 0x1234)
+        cpu = run("ff 33  8f 43 08", setup=setup)  # push [rbx]; pop [rbx+8]
+        assert cpu.mem.read_u64(DATA + 8) == 0x1234
+
+
+class TestMisc:
+    def test_bswap(self):
+        def setup(c):
+            c.state.set(RAX, 0x1122334455667788)
+        cpu = run("48 0f c8", steps=1, setup=setup)
+        assert cpu.state.regs[RAX] == 0x8877665544332211
+
+    def test_xchg_rax_reg(self):
+        def setup(c):
+            c.state.set(RAX, 1)
+            c.state.set(RBX, 2)
+        cpu = run("48 93", steps=1, setup=setup)  # xchg rax, rbx
+        assert cpu.state.regs[RAX] == 2
+        assert cpu.state.regs[RBX] == 1
+
+    def test_leave(self):
+        def setup(c):
+            c.state.set(5, 0x7000)  # rbp
+            c.mem.map_anonymous(0x7000 & ~0xFFF, 0x2000, 3)
+            c.mem.write_u64(0x7000, 0xCAFE)
+        cpu = run("c9", steps=1, setup=setup)
+        assert cpu.state.regs[5] == 0xCAFE
+        assert cpu.state.regs[4] == 0x7008
+
+    def test_rep_movs_copies_block(self):
+        def setup(c):
+            c.mem.write(DATA, bytes(range(32)))
+            c.state.set(RSI, DATA)
+            c.state.set(RDI, DATA + 64)
+            c.state.set(RCX, 32)
+        cpu = run("f3 a4", steps=1, setup=setup)  # rep movsb
+        assert cpu.mem.read(DATA + 64, 32) == bytes(range(32))

@@ -1,0 +1,141 @@
+"""Machine-level behaviour: syscalls, B0 traps, budgets, differential
+execution against native runs."""
+
+import pytest
+
+from repro.elf import constants as elfc
+from repro.elf.builder import TinyProgram, hello_world
+from repro.errors import VmError
+from repro.vm.machine import DEFAULT_TRAP_COST, Machine, TrapHandler, run_elf
+from repro.synth.generator import SynthesisParams, synthesize
+from tests.conftest import requires_native
+
+
+class TestSyscalls:
+    def test_write_collected(self):
+        r = run_elf(hello_world(b"out\n"))
+        assert r.stdout == b"out\n"
+
+    def test_exit_code(self):
+        prog = TinyProgram()
+        prog.emit_exit(17)
+        assert run_elf(prog.build()).exit_code == 17
+
+    def test_stderr_also_collected(self):
+        prog = TinyProgram()
+        msg = prog.add_data("m", b"err")
+        a = prog.text
+        a.mov_imm32(7, 2)
+        a.mov_imm64(6, msg)
+        a.mov_imm32(2, 3)
+        a.mov_imm32(0, elfc.SYS_WRITE)
+        a.syscall()
+        prog.emit_exit(0)
+        assert run_elf(prog.build()).stdout == b"err"
+
+    def test_unknown_syscall_raises(self):
+        prog = TinyProgram()
+        a = prog.text
+        a.mov_imm32(0, 9999)
+        a.syscall()
+        prog.emit_exit(0)
+        with pytest.raises(VmError):
+            run_elf(prog.build())
+
+    def test_syscall_hook(self):
+        prog = TinyProgram()
+        a = prog.text
+        a.mov_imm32(0, 9999)
+        a.syscall()
+        a.raw(b"\x48\x89\xc7")  # mov rdi, rax
+        a.mov_imm32(0, elfc.SYS_EXIT)
+        a.syscall()
+        machine = Machine(prog.build())
+        machine.syscall_hooks[9999] = lambda m: 55
+        assert machine.run().exit_code == 55
+
+    def test_budget_stops_infinite_loop(self):
+        prog = TinyProgram()
+        a = prog.text
+        a.label("spin")
+        a.jmp("spin")
+        machine = Machine(prog.build(), max_instructions=1000)
+        r = machine.run()
+        assert r.reason == "budget"
+        assert r.instructions >= 1000
+
+
+class TestTraps:
+    def _trap_prog(self):
+        """mov rcx, 7 ; int3-site (mov rax, rcx) ; exit(rax)."""
+        prog = TinyProgram()
+        a = prog.text
+        a.mov_imm32(1, 7)
+        site = a.here
+        a.raw(b"\x48\x89\xc8")  # mov rax, rcx  <- will become int3
+        a.raw(b"\x48\x89\xc7")  # mov rdi, rax
+        a.mov_imm32(0, elfc.SYS_EXIT)
+        a.syscall()
+        return prog.build(), site
+
+    def test_b0_trap_emulates_instruction(self):
+        data, site = self._trap_prog()
+        patched = bytearray(data)
+        off = 0x1000 + (site - 0x401000)
+        original = bytes(patched[off:off + 3])
+        patched[off] = 0xCC
+        machine = Machine(bytes(patched))
+        machine.register_trap(site, TrapHandler(insn_bytes=original))
+        r = machine.run()
+        assert r.exit_code == 7
+        assert r.traps == 1
+        assert r.cost >= r.instructions + DEFAULT_TRAP_COST
+
+    def test_b0_counter(self):
+        data, site = self._trap_prog()
+        patched = bytearray(data)
+        off = 0x1000 + (site - 0x401000)
+        original = bytes(patched[off:off + 3])
+        patched[off] = 0xCC
+        machine = Machine(bytes(patched))
+        from repro.vm.memory import PROT_READ, PROT_WRITE
+
+        machine.mem.map_anonymous(0x900000, 0x1000, PROT_READ | PROT_WRITE)
+        machine.register_trap(
+            site, TrapHandler(insn_bytes=original, counter_vaddr=0x900000)
+        )
+        r = machine.run()
+        assert r.exit_code == 7
+        assert machine.mem.read_u64(0x900000) == 1
+
+    def test_unexpected_int3_raises(self):
+        prog = TinyProgram()
+        prog.text.int3()
+        prog.emit_exit(0)
+        with pytest.raises(VmError):
+            run_elf(prog.build())
+
+
+class TestDifferentialVsNative:
+    """The strongest VM oracle: synthetic programs must behave byte-for-
+    byte identically on the host CPU and in the interpreter."""
+
+    @requires_native
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 11, 23])
+    def test_synth_program_matches_native(self, run_native, seed):
+        binary = synthesize(SynthesisParams(
+            n_jump_sites=25, n_write_sites=25, seed=seed, loop_iters=2,
+        ))
+        vm = run_elf(binary.data)
+        code, out = run_native(binary.data)
+        assert vm.exit_code == code
+        assert vm.stdout == out
+
+    @requires_native
+    def test_pie_synth_matches_native(self, run_native):
+        binary = synthesize(SynthesisParams(
+            n_jump_sites=15, n_write_sites=15, seed=77, pie=True, loop_iters=2,
+        ))
+        vm = run_elf(binary.data)
+        code, out = run_native(binary.data)
+        assert (vm.exit_code, vm.stdout) == (code, out)

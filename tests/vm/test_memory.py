@@ -1,0 +1,107 @@
+"""Paged CoW memory semantics."""
+
+import pytest
+
+from repro.errors import VmFault
+from repro.vm.memory import (
+    PAGE_SIZE,
+    Memory,
+    PROT_EXEC,
+    PROT_READ,
+    PROT_WRITE,
+)
+
+
+class TestMapping:
+    def test_anonymous_zeroed(self):
+        mem = Memory()
+        mem.map_anonymous(0x1000, PAGE_SIZE, PROT_READ | PROT_WRITE)
+        assert mem.read(0x1000, 16) == bytes(16)
+
+    def test_file_backed_content(self):
+        mem = Memory()
+        blob = bytes(range(256)) * 32  # 8KB
+        mem.map_file(0x1000, PAGE_SIZE, PROT_READ, blob, PAGE_SIZE)
+        assert mem.read(0x1000, 8) == blob[PAGE_SIZE:PAGE_SIZE + 8]
+
+    def test_short_blob_zero_padded(self):
+        mem = Memory()
+        mem.map_file(0x1000, PAGE_SIZE, PROT_READ, b"abc", 0)
+        assert mem.read(0x1000, 5) == b"abc\x00\x00"
+
+    def test_unaligned_rejected(self):
+        mem = Memory()
+        with pytest.raises(VmFault):
+            mem.map_anonymous(0x1001, PAGE_SIZE, PROT_READ)
+
+    def test_unmapped_fault(self):
+        mem = Memory()
+        with pytest.raises(VmFault):
+            mem.read(0x5000, 1)
+
+    def test_permission_fault(self):
+        mem = Memory()
+        mem.map_anonymous(0x1000, PAGE_SIZE, PROT_READ)
+        with pytest.raises(VmFault):
+            mem.write(0x1000, b"x")
+
+    def test_protect(self):
+        mem = Memory()
+        mem.map_anonymous(0x1000, PAGE_SIZE, PROT_READ)
+        mem.protect(0x1000, PAGE_SIZE, PROT_READ | PROT_WRITE)
+        mem.write(0x1000, b"x")  # no fault now
+
+
+class TestCopyOnWrite:
+    def test_shared_until_written(self):
+        mem = Memory()
+        blob = b"\xaa" * PAGE_SIZE
+        mem.map_file(0x1000, PAGE_SIZE, PROT_READ | PROT_WRITE, blob, 0)
+        mem.map_file(0x3000, PAGE_SIZE, PROT_READ | PROT_WRITE, blob, 0)
+        assert mem.physical_frames() == 1  # shared
+        mem.write(0x1000, b"z")
+        assert mem.physical_frames() == 2  # CoW break
+        assert mem.read(0x3000, 1) == b"\xaa"  # other mapping unaffected
+
+    def test_zero_pages_share_one_frame(self):
+        mem = Memory()
+        mem.map_anonymous(0x1000, 64 * PAGE_SIZE, PROT_READ | PROT_WRITE)
+        assert mem.physical_frames() == 1
+        mem.write(0x1000, b"x")
+        assert mem.physical_frames() == 2
+
+    def test_cross_page_access(self):
+        mem = Memory()
+        mem.map_anonymous(0x1000, 2 * PAGE_SIZE, PROT_READ | PROT_WRITE)
+        mem.write(0x1FFC, b"12345678")
+        assert mem.read(0x1FFC, 8) == b"12345678"
+
+    def test_integer_helpers(self):
+        mem = Memory()
+        mem.map_anonymous(0x1000, PAGE_SIZE, PROT_READ | PROT_WRITE)
+        mem.write_u64(0x1008, 0x1122334455667788)
+        assert mem.read_u64(0x1008) == 0x1122334455667788
+        mem.write_uint(0x1000, -1 & 0xFFFF, 2)
+        assert mem.read_uint(0x1000, 2) == 0xFFFF
+
+
+class TestFetch:
+    def test_fetch_requires_exec(self):
+        mem = Memory()
+        mem.map_anonymous(0x1000, PAGE_SIZE, PROT_READ)
+        assert mem.fetch(0x1000, 4) == b""  # caller faults on empty window
+
+    def test_fetch_truncates_at_unmapped(self):
+        mem = Memory()
+        mem.map_anonymous(0x1000, PAGE_SIZE, PROT_READ | PROT_EXEC)
+        data = mem.fetch(0x1FFA, 15)
+        assert len(data) == 6  # stops at page end
+
+    def test_fetch_truncates_at_non_exec_boundary(self):
+        """An instruction ending exactly at an exec/non-exec boundary
+        must fetch cleanly (hardware does not probe the next page)."""
+        mem = Memory()
+        mem.map_anonymous(0x1000, PAGE_SIZE, PROT_READ | PROT_EXEC)
+        mem.map_anonymous(0x2000, PAGE_SIZE, PROT_READ)  # data page after
+        data = mem.fetch(0x1FFE, 15)
+        assert len(data) == 2

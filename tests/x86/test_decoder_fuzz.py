@@ -1,0 +1,62 @@
+"""Decoder robustness fuzzing: arbitrary bytes must decode or raise —
+never crash, never mis-measure."""
+
+from hypothesis import given, strategies as st
+
+from repro.errors import DecodeError
+from repro.x86.decoder import MAX_INSN_LEN, decode, decode_buffer
+
+
+class TestFuzz:
+    @given(st.binary(min_size=1, max_size=20))
+    def test_decode_never_crashes(self, data):
+        try:
+            insn = decode(data, 0)
+        except DecodeError:
+            return
+        assert 1 <= insn.length <= min(len(data), MAX_INSN_LEN)
+        assert insn.raw == data[: insn.length]
+
+    @given(st.binary(min_size=1, max_size=20))
+    def test_decode_deterministic(self, data):
+        def attempt():
+            try:
+                return decode(data, 0).raw
+            except DecodeError as exc:
+                return str(exc)
+
+        assert attempt() == attempt()
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_decode_buffer_total_length(self, data):
+        insns = decode_buffer(data)
+        assert sum(i.length for i in insns) == len(data)
+        # addresses are contiguous
+        pos = 0
+        for insn in insns:
+            assert insn.address == pos
+            pos += insn.length
+
+    @given(st.binary(min_size=1, max_size=20), st.integers(0, 1 << 47))
+    def test_address_only_affects_targets(self, data, address):
+        """The address parameter must not change lengths or fields other
+        than absolute targets."""
+        try:
+            a = decode(data, 0, address=0)
+            b = decode(data, 0, address=address)
+        except DecodeError:
+            return
+        assert a.raw == b.raw
+        assert a.mnemonic == b.mnemonic
+        assert a.imm == b.imm
+        if a.rel is not None:
+            assert b.target == address + a.length + a.rel
+
+    @given(st.binary(min_size=5, max_size=15))
+    def test_relative_branch_targets_consistent(self, data):
+        try:
+            insn = decode(data, 0, address=0x400000)
+        except DecodeError:
+            return
+        if insn.is_direct_branch:
+            assert insn.target == insn.end + insn.rel

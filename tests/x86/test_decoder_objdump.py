@@ -1,0 +1,76 @@
+"""Oracle test: decoder lengths must match objdump on compiled binaries."""
+
+from __future__ import annotations
+
+import re
+import subprocess
+
+import pytest
+
+from repro.errors import DecodeError
+from repro.x86.decoder import decode
+from tests.conftest import requires_gcc, requires_objdump
+
+
+def objdump_instructions(path: str):
+    """Yield (address, raw_bytes, text) from ``objdump -d``."""
+    out = subprocess.run(
+        ["objdump", "-d", path], capture_output=True, text=True
+    ).stdout
+    insns: list[tuple[int, bytes, str]] = []
+    for line in out.splitlines():
+        m = re.match(r"^\s+([0-9a-f]+):\t([0-9a-f ]+)\t(.*)$", line)
+        if m:
+            insns.append(
+                (int(m.group(1), 16),
+                 bytes.fromhex(m.group(2).replace(" ", "")),
+                 m.group(3).strip())
+            )
+            continue
+        m = re.match(r"^\s+([0-9a-f]+):\t([0-9a-f ]+)\s*$", line)
+        if m and insns:  # continuation of a long instruction
+            addr, raw, text = insns[-1]
+            insns[-1] = (addr, raw + bytes.fromhex(m.group(2).replace(" ", "")), text)
+    return insns
+
+
+@requires_gcc
+@requires_objdump
+class TestObjdumpOracle:
+    @pytest.mark.parametrize("variant", ["O0_pie", "O2_pie", "O2_nopie"])
+    def test_lengths_match(self, compiled_corpus, variant):
+        if variant not in compiled_corpus:
+            pytest.skip(f"{variant} did not build")
+        total = mismatches = errors = 0
+        for addr, raw, text in objdump_instructions(str(compiled_corpus[variant])):
+            if "(bad)" in text or text.startswith(".byte"):
+                continue
+            total += 1
+            try:
+                insn = decode(raw, 0, address=addr)
+            except DecodeError:
+                errors += 1
+                continue
+            if insn.length != len(raw):
+                mismatches += 1
+        assert total > 200
+        assert mismatches == 0
+        assert errors == 0
+
+    def test_branch_targets_match(self, compiled_corpus):
+        """Where objdump prints a hex target for a direct branch, our
+        decoder must compute the same address."""
+        path = next(iter(compiled_corpus.values()))
+        checked = 0
+        for addr, raw, text in objdump_instructions(str(path)):
+            m = re.match(r"^(jmp|je|jne|jb|jbe|ja|jae|js|jns|jl|jle|jg|jge|call)q?\s+([0-9a-f]+)\s", text)
+            if not m:
+                continue
+            try:
+                insn = decode(raw, 0, address=addr)
+            except DecodeError:
+                continue
+            if insn.target is not None:
+                assert insn.target == int(m.group(2), 16), text
+                checked += 1
+        assert checked > 20

@@ -1,0 +1,142 @@
+"""AT&T operand formatting, cross-validated against objdump."""
+
+import re
+import subprocess
+
+import pytest
+
+from repro.x86.decoder import decode
+from repro.x86.format import format_insn, format_mem, format_operands, reg_name
+from tests.conftest import requires_gcc, requires_objdump
+
+
+def d(hexstr: str, address: int = 0x401000):
+    return decode(bytes.fromhex(hexstr.replace(" ", "")), 0, address=address)
+
+
+class TestRegNames:
+    def test_sizes(self):
+        assert reg_name(0, 8) == "%rax"
+        assert reg_name(0, 4) == "%eax"
+        assert reg_name(0, 2) == "%ax"
+        assert reg_name(0, 1) == "%al"
+        assert reg_name(12, 8) == "%r12"
+        assert reg_name(12, 1) == "%r12b"
+
+    def test_legacy_high_bytes(self):
+        assert reg_name(4, 1, rex=False) == "%ah"
+        assert reg_name(4, 1, rex=True) == "%spl"
+
+
+class TestGolden:
+    CASES = [
+        ("48 89 03", "mov %rax,(%rbx)"),
+        ("48 8b 43 10", "mov 0x10(%rbx),%rax"),
+        ("89 d8", "mov %ebx,%eax"),
+        ("48 c7 c0 78 56 34 12", "mov $0x12345678,%rax"),
+        ("b8 05 00 00 00", "mov $0x5,%eax"),
+        ("48 83 c0 20", "add $0x20,%rax"),
+        ("48 01 d8", "add %rbx,%rax"),
+        ("48 8d 44 8b 08", "lea 0x8(%rbx,%rcx,4),%rax"),
+        ("48 8d 05 00 10 00 00", "lea 0x1000(%rip),%rax"),
+        ("50", "push %rax"),
+        ("41 54", "push %r12"),
+        ("5d", "pop %rbp"),
+        ("c3", "ret"),
+        ("e9 00 01 00 00", "jmp 401105"),
+        ("74 10", "je 401012"),
+        ("e8 fb ff ff ff", "call 401000"),
+        ("ff d0", "call *%rax"),
+        ("ff 25 00 10 00 00", "jmp *0x1000(%rip)"),
+        ("f7 c1 01 00 00 00", "test $0x1,%ecx"),
+        ("48 f7 d8", "neg %rax"),
+        ("48 ff c0", "inc %rax"),
+        ("48 c1 e0 04", "shl $0x4,%rax"),
+        ("48 d3 e8", "shr %cl,%rax"),
+        ("0f 84 10 00 00 00", "je 401016"),
+        ("0f b6 c9", "movzx %cl,%ecx"),
+        ("48 0f af c3", "imul %rbx,%rax"),
+        ("0f 94 c0", "sete %al"),
+        ("48 0f 44 c3", "cmove %rbx,%rax"),
+        ("48 89 44 24 08", "mov %rax,0x8(%rsp)"),
+        ("48 8b 04 25 00 10 00 00", "mov 0x1000,%rax"),
+        ("c6 03 01", "mov $0x1,(%rbx)"),
+        ("66 b8 34 12", "mov $0x1234,%ax"),
+        ("41 89 45 fc", "mov %eax,-0x4(%r13)"),
+        ("48 89 6c 24 f8", "mov %rbp,-0x8(%rsp)"),
+        ("6a 01", "push $0x1"),
+    ]
+
+    @pytest.mark.parametrize("hexstr,expected", CASES,
+                             ids=[c[1] for c in CASES])
+    def test_format(self, hexstr, expected):
+        assert format_insn(d(hexstr)) == expected
+
+    def test_unsupported_falls_back(self):
+        insn = d("0f 10 03")  # movups: not in the supported set
+        assert "<" in format_insn(insn)
+
+    def test_format_operands_none_for_exotic(self):
+        assert format_operands(d("0f 10 03")) is None
+
+    def test_format_mem_no_base_sib(self):
+        insn = d("48 8b 04 cd 00 00 00 00")  # mov 0x0(,%rcx,8),%rax
+        assert format_mem(insn) == "0x0(,%rcx,8)"
+
+
+_ANNOT = re.compile(r"\s*(#.*|<[^>]*>)\s*$")
+_SUFFIXABLE = re.compile(r"(mov|add|sub|and|or|xor|cmp|test|push|pop|lea|"
+                         r"inc|dec|neg|not|shl|shr|sar|imul|call|jmp|ret|"
+                         r"adc|sbb|cmov\w+|set\w+|movz|movs)([bwlq])$")
+
+
+def _normalize(mnemonic: str, operands: str) -> tuple[str, str]:
+    m = _SUFFIXABLE.fullmatch(mnemonic)
+    if m:
+        mnemonic = m.group(1)
+    if mnemonic in ("movz", "movs"):
+        mnemonic += "x"  # movzbl -> movzx etc. (suffix pairs stripped below)
+    operands = operands.replace(" ", "")
+    return mnemonic, operands
+
+
+@requires_gcc
+@requires_objdump
+class TestObjdumpCross:
+    def test_operands_match_objdump(self, compiled_corpus):
+        """For every instruction we claim to format, the operand string
+        must match objdump's (modulo suffixes/annotations)."""
+        from tests.x86.test_decoder_objdump import objdump_instructions
+
+        checked = 0
+        mismatches = []
+        insn_lists = []
+        for path in compiled_corpus.values():
+            insn_lists.extend(objdump_instructions(str(path)))
+        for addr, raw, text in insn_lists:
+            if "(bad)" in text:
+                continue
+            try:
+                insn = decode(raw, 0, address=addr)
+            except Exception:
+                continue
+            ours = format_operands(insn)
+            if ours is None or insn.opmap not in (0, 1):
+                continue
+            parts = text.split(None, 1)
+            their_mnemonic = parts[0]
+            their_operands = _ANNOT.sub("", parts[1]) if len(parts) > 1 else ""
+            # Skip forms where objdump semantics differ cosmetically.
+            if their_mnemonic.startswith(("movz", "movs")) and insn.opmap == 0:
+                continue  # movsxd prints as movslq etc.
+            norm_mn, norm_ops = _normalize(their_mnemonic,
+                                           their_operands)
+            our_mn = insn.mnemonic
+            if norm_mn != our_mn and their_mnemonic != our_mn:
+                continue  # differently-named alias; lengths already tested
+            ours_cmp = ours.replace(" ", "")
+            if norm_ops != ours_cmp:
+                mismatches.append((hex(addr), text, ours))
+            checked += 1
+        assert checked > 400
+        assert not mismatches[:10], mismatches[:10]
