@@ -1,0 +1,77 @@
+"""Per-pass timing smoke bench.
+
+Runs the staged pipeline over a mid-sized synthetic binary three ways
+(single rewrite, verified rewrite, 3-config batch) and prints the
+per-pass wall-time breakdown from the shared :class:`Observer`.  Unlike
+the pytest-benchmark suites this is a plain script — `python
+benchmarks/bench_passes.py` — so CI can use it as a cheap smoke job
+that fails loudly if the pipeline or its accounting regresses.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.observe import Observer
+from repro.core.rewriter import RewriteOptions
+from repro.core.strategy import TacticToggles
+from repro.frontend.tool import instrument_elf, rewrite_many
+from repro.synth.generator import SynthesisParams, synthesize
+
+N_SITES = 2000
+
+
+def section(title: str, obs: Observer) -> None:
+    print(f"== {title} ==")
+    print(obs.format_timings())
+    interesting = ("decode.instructions", "match.sites", "plan.sites",
+                   "plan.trampoline_bytes", "plan.alloc_probes",
+                   "group.physical_bytes", "emit.output_bytes",
+                   "verify.sites")
+    for name in interesting:
+        if name in obs.counters:
+            print(f"  {name} = {obs.counters[name]}")
+    print()
+
+
+def main() -> int:
+    binary = synthesize(SynthesisParams(
+        n_jump_sites=N_SITES, n_write_sites=N_SITES // 2, seed=4242))
+
+    obs = Observer()
+    report = instrument_elf(binary.data, "jumps",
+                            options=RewriteOptions(mode="loader"),
+                            observer=obs)
+    if report.stats.success_pct <= 99.0:
+        print("FAIL: success rate regressed", file=sys.stderr)
+        return 1
+    section(f"single rewrite ({report.n_sites} sites, loader mode)", obs)
+
+    obs = Observer()
+    instrument_elf(binary.data, "jumps",
+                   options=RewriteOptions(mode="loader", verify=True),
+                   observer=obs)
+    if obs.counters.get("verify.sites", 0) == 0:
+        print("FAIL: verify pass checked no sites", file=sys.stderr)
+        return 1
+    section("verified rewrite", obs)
+
+    obs = Observer()
+    rewrite_many(
+        binary.data,
+        [RewriteOptions(mode="loader"),
+         RewriteOptions(mode="loader", grouping=False),
+         RewriteOptions(mode="loader", toggles=TacticToggles(t3=False))],
+        matcher="jumps", observer=obs,
+    )
+    if obs.runs("decode") != 1 or obs.runs("plan") != 3:
+        print("FAIL: batch rewrite did not share the decode pass",
+              file=sys.stderr)
+        return 1
+    section("3-config batch (decode/match shared)", obs)
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,12 +16,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.observe import Observer
+from repro.core.pipeline import MatchPass
 from repro.core.rewriter import RewriteOptions, RewriteResult, Rewriter
 from repro.core.strategy import PatchRequest
 from repro.core.trampoline import Counter
-from repro.elf.reader import ElfFile
-from repro.frontend.lineardisasm import disassemble_text
-from repro.frontend.matchers import MATCHERS, Matcher, select_sites
+from repro.frontend.matchers import MATCHERS, Matcher
+from repro.frontend.tool import prepare_binary
 from repro.vm.machine import Machine
 
 SLOT_SIZE = 8
@@ -34,15 +35,17 @@ class CoverageInstrumenter:
 
     matcher: Matcher | str = "jumps"
     options: RewriteOptions = field(default_factory=lambda: RewriteOptions(mode="loader"))
+    observer: Observer | None = None
 
     def instrument(self, data: bytes) -> "InstrumentedBinary":
         matcher = (MATCHERS[self.matcher]
                    if isinstance(self.matcher, str) else self.matcher)
-        elf = ElfFile(data)
-        instructions = disassemble_text(elf)
-        sites = select_sites(instructions, matcher)
+        base = prepare_binary(data, observer=self.observer)
+        MatchPass(matcher).run(base)
+        sites = base.sites
 
-        rewriter = Rewriter(elf, instructions, self.options)
+        rewriter = Rewriter(base.elf, base.instructions, self.options,
+                            observer=base.observer)
         map_bytes = max(PAGE, -(-len(sites) * SLOT_SIZE // PAGE) * PAGE)
         map_vaddr = rewriter.add_runtime_data(map_bytes)
 

@@ -19,7 +19,6 @@ from dataclasses import dataclass, field
 from repro.apps.coverage import CoverageInstrumenter, CoverageReport
 from repro.elf import constants as elfc
 from repro.elf.builder import TinyProgram
-from repro.vm.machine import Machine
 from repro.x86 import encoder as enc
 
 CRASH_EXIT_CODE = 101
@@ -104,14 +103,9 @@ class Fuzzer:
         self.rng = random.Random(self.seed)
 
     def _execute(self, data: bytes) -> CoverageReport:
-        machine = Machine(self.instrumented.data, stdin=data,
-                          max_instructions=self.max_instructions)
-        run = machine.run()
-        counts = {
-            site: machine.mem.read_u64(slot)
-            for site, slot in self.instrumented.slots.items()
-        }
-        return CoverageReport(run=run, counts=counts)
+        return self.instrumented.run_with_coverage(
+            stdin=data, max_instructions=self.max_instructions
+        )
 
     def _mutate(self, data: bytes) -> bytes:
         out = bytearray(data)

@@ -16,12 +16,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.observe import Observer
+from repro.core.pipeline import MatchPass
 from repro.core.rewriter import RewriteOptions, RewriteResult, Rewriter
 from repro.core.strategy import PatchRequest
 from repro.core.trampoline import Instrumentation
-from repro.elf.reader import ElfFile
-from repro.frontend.lineardisasm import disassemble_text
-from repro.frontend.matchers import MATCHERS, Matcher, select_sites
+from repro.frontend.matchers import MATCHERS, Matcher
+from repro.frontend.tool import prepare_binary
 from repro.vm.machine import Machine
 from repro.x86 import encoder as enc
 
@@ -71,15 +72,17 @@ class Tracer:
     matcher: Matcher | str = "jumps"
     capacity: int = 4096
     options: RewriteOptions = field(default_factory=lambda: RewriteOptions(mode="loader"))
+    observer: Observer | None = None
 
     def instrument(self, data: bytes) -> "TracedBinary":
         matcher = (MATCHERS[self.matcher]
                    if isinstance(self.matcher, str) else self.matcher)
-        elf = ElfFile(data)
-        instructions = disassemble_text(elf)
-        sites = select_sites(instructions, matcher)
+        base = prepare_binary(data, observer=self.observer)
+        MatchPass(matcher).run(base)
+        sites = base.sites
 
-        rewriter = Rewriter(elf, instructions, self.options)
+        rewriter = Rewriter(base.elf, base.instructions, self.options,
+                            observer=base.observer)
         size = HEADER_SIZE + 8 * self.capacity
         buffer_vaddr = rewriter.add_runtime_data(size)
         instr = TraceRecord(buffer_vaddr, self.capacity)

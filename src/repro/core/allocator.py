@@ -57,6 +57,9 @@ class AddressSpace:
     free: IntervalSet = field(default_factory=IntervalSet)
     allocations: list[Allocation] = field(default_factory=list)
     pack_pages: bool = False
+    # Observability: number of free-list gap searches performed (one per
+    # find_gap call, including failed and packed-page attempts).
+    probes: int = 0
     _used_pages: IntervalSet = field(default_factory=IntervalSet)
 
     PAGE = 4096
@@ -116,10 +119,12 @@ class AddressSpace:
             page = self.PAGE
             for plo, phi in self._used_pages.spans_overlapping(
                     lo - page, hi + page, limit=8):
+                self.probes += 1
                 t = self.free.find_gap(max(lo, plo), min(hi, phi), size)
                 if t is not None:
                     break
         if t is None:
+            self.probes += 1
             t = self.free.find_gap(lo, hi, size, align=align)
         if t is None:
             return None

@@ -1,91 +1,49 @@
-"""The E9Patch front door: orchestrates planning, grouping and emission.
+"""The E9Patch front door: a facade over the staged rewrite pipeline.
 
-:class:`Rewriter` ties the pieces together:
+:class:`Rewriter` keeps the original one-object API — construct with an
+ELF and an instruction stream, optionally inject runtime code/data, then
+``plan``/``emit``/``rewrite`` — but every stage now runs as an explicit
+pass over a shared :class:`~repro.core.pipeline.RewriteContext`:
 
-1. parse the ELF, build the mutable code image over its executable
-   ranges, and reserve the binary's own address space;
-2. run strategy S1 over the requested patch sites (tactics B1..T3);
-3. partition trampolines with physical page grouping;
-4. emit the patched ELF, either with extra ``PT_LOAD`` headers
-   (``phdr`` mode, one-to-one) or with an injected loader stub
-   (``loader`` mode, supporting the one-to-many grouped mapping and
-   negative PIE link-time offsets).
+1. the context's workspace (mutable code image, address-space
+   reservation, tactic context) is prepared at construction;
+2. :class:`~repro.core.pipeline.PlanPass` runs strategy S1 over the
+   requested patch sites (tactics B1..T3);
+3. :class:`~repro.core.pipeline.GroupPass` partitions trampolines with
+   physical page grouping;
+4. :class:`~repro.core.pipeline.EmitPass` emits the patched ELF, either
+   with extra ``PT_LOAD`` headers (``phdr`` mode, one-to-one) or with an
+   injected loader stub (``loader`` mode, supporting the one-to-many
+   grouped mapping and negative PIE link-time offsets);
+5. optionally, :class:`~repro.core.pipeline.VerifyPass` re-decodes every
+   patched site and checks its jump target
+   (``RewriteOptions(verify=True)``).
 
-Like E9Patch itself, the rewriter does not disassemble: instruction
-locations/sizes come from a frontend (see :mod:`repro.frontend`).
+Each pass reports wall-time and counters through the context's
+:class:`~repro.core.observe.Observer`.  Like E9Patch itself, the
+rewriter does not disassemble: instruction locations/sizes come from a
+frontend (see :mod:`repro.frontend`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.errors import PatchError
-from repro.core.allocator import AddressSpace
-from repro.core.binary import CodeImage
-from repro.core.grouping import PAGE_SIZE, GroupingResult, group_trampolines
-from repro.core.stats import PatchStats
-from repro.core.strategy import PatchPlan, PatchRequest, TacticToggles, patch_all
-from repro.core.tactics import Tactic, TacticContext
-from repro.core.trampoline import Trampoline
-from repro.elf import constants as elfc
-from repro.elf.loader import Mapping, build_loader, loader_size_estimate
+from repro.core.observe import Observer
+from repro.core.pipeline import (
+    EmitPass,
+    GroupPass,
+    PlanPass,
+    RewriteContext,
+    RewriteOptions,
+    RewriteResult,
+    VerifyPass,
+    run_pipeline,
+)
+from repro.core.strategy import PatchPlan, PatchRequest
+from repro.core.tactics import TacticContext
 from repro.elf.reader import ElfFile
-from repro.elf.writer import AppendedSegment, ElfRewriter
 from repro.x86.insn import Instruction
 
-
-@dataclass
-class RewriteOptions:
-    """Knobs for a rewrite run (defaults match the paper's main setup)."""
-
-    mode: str = "auto"  # "phdr" | "loader" | "auto"
-    grouping: bool = True  # physical page grouping on/off (ablation)
-    granularity: int = 1  # M pages per block
-    toggles: TacticToggles = field(default_factory=TacticToggles)
-    guard_pages: int = 1  # guard between segments and trampolines
-    # Treat the input as a shared object: positive link-time offsets only
-    # (the dynamic linker loads other objects into the negative range).
-    # Loader-mode .so rewriting hijacks DT_INIT instead of e_entry and
-    # mmaps from library_path (``/proc/self/exe`` names the executable,
-    # not the library), which must be where the patched file will be
-    # installed.
-    shared: bool = False
-    library_path: str | None = None
-    # Extra address ranges to treat as occupied (e.g. modelling the
-    # unscaled image footprint of a synthesized stand-in binary).
-    reserve_extra: tuple[tuple[int, int], ...] = ()
-    # Ablation knob: pack trampolines into already-used pages.  Off by
-    # default — see AddressSpace.pack_pages for why packing *loses* to
-    # physical page grouping.
-    pack_allocations: bool = False
-
-    def resolve_mode(self) -> str:
-        if self.mode != "auto":
-            return self.mode
-        return "loader" if self.grouping else "phdr"
-
-
-@dataclass
-class RewriteResult:
-    """Everything produced by a rewrite."""
-
-    data: bytes
-    plan: PatchPlan
-    grouping: GroupingResult | None
-    stats: PatchStats
-    input_size: int
-    mode: str
-    trampolines: list[Trampoline]
-    b0_sites: list[int] = field(default_factory=list)
-
-    @property
-    def output_size(self) -> int:
-        return len(self.data)
-
-    @property
-    def size_pct(self) -> float:
-        """Output size as a percentage of input size (paper's Size%)."""
-        return 100.0 * self.output_size / self.input_size
+__all__ = ["Rewriter", "RewriteOptions", "RewriteResult"]
 
 
 class Rewriter:
@@ -96,36 +54,36 @@ class Rewriter:
         elf: ElfFile,
         instructions: list[Instruction],
         options: RewriteOptions | None = None,
+        observer: Observer | None = None,
     ) -> None:
         self.elf = elf
         self.instructions = instructions
         self.options = options or RewriteOptions()
-
-        exec_ranges: list[tuple[int, bytes]] = []
-        for seg in elf.load_segments():
-            if seg.executable:
-                data = elf.data[seg.phdr.offset : seg.phdr.offset + seg.phdr.filesz]
-                exec_ranges.append((seg.phdr.vaddr, data))
-        if not exec_ranges:
-            raise PatchError("binary has no executable PT_LOAD segment")
-        self.image = CodeImage.from_ranges(exec_ranges)
-
-        block = self.options.granularity * PAGE_SIZE
-        guard = max(self.options.guard_pages * PAGE_SIZE, block)
-        self.space = AddressSpace.for_binary(
-            [(p.vaddr, p.memsz) for p in elf.phdrs if p.type == elfc.PT_LOAD],
-            pie=elf.is_pie,
-            shared=self.options.shared,
-            guard=guard,
+        self.context = RewriteContext(
+            elf=elf,
+            options=self.options,
+            observer=observer or Observer(),
+            instructions=instructions,
         )
-        self.space.pack_pages = self.options.pack_allocations
-        for lo, hi in self.options.reserve_extra:
-            self.space.reserve(lo, hi)
-        self.ctx = TacticContext(
-            image=self.image, space=self.space, instructions=instructions
-        )
-        self._runtime: list[Trampoline] = []
-        self._data_segments: list[tuple[int, int]] = []
+        self.context.prepare_workspace()
+
+    # -- pipeline state exposed for tests and power users ----------------
+
+    @property
+    def image(self):
+        return self.context.image
+
+    @property
+    def space(self):
+        return self.context.space
+
+    @property
+    def ctx(self) -> TacticContext:
+        return self.context.tactics
+
+    @property
+    def observer(self) -> Observer:
+        return self.context.observer
 
     # -- optional injected runtime code (e.g. a hardening check function) --
 
@@ -136,27 +94,18 @@ class Rewriter:
         *size* bytes.  Returns the vaddr.  Must be called before
         :meth:`rewrite` so trampolines can reference the address.
         """
-        lo, hi = self.space.lo_bound, self.space.hi_bound
-        vaddr = self.space.allocate(lo, hi, size, tag)
-        if vaddr is None:
-            raise PatchError("no space for runtime code")
-        code = build(vaddr)
-        if len(code) != size:
-            raise PatchError(f"runtime code size {len(code)} != reserved {size}")
-        self._runtime.append(Trampoline(vaddr=vaddr, code=code, tag=tag))
-        return vaddr
+        return self.context.add_runtime_code(build, size, tag)
 
     def add_runtime_data(self, size: int) -> int:
         """Reserve a zero-initialized read-write region in the output
         binary (e.g. for instrumentation counters); returns its vaddr."""
-        vaddr = self._allocate_exclusive(size)
-        self._data_segments.append((vaddr, size))
-        return vaddr
+        return self.context.add_runtime_data(size)
 
-    # -- main entry points ---------------------------------------------------------
+    # -- main entry points ----------------------------------------------
 
     def plan(self, requests: list[PatchRequest]) -> PatchPlan:
-        return patch_all(self.ctx, requests, self.options.toggles)
+        PlanPass(requests).run(self.context)
+        return self.context.plan
 
     def rewrite(self, requests: list[PatchRequest]) -> RewriteResult:
         """Plan and emit in one step."""
@@ -164,187 +113,9 @@ class Rewriter:
         return self.emit(plan)
 
     def emit(self, plan: PatchPlan) -> RewriteResult:
-        mode = self.options.resolve_mode()
-        trampolines = list(plan.trampolines) + self._runtime
-        b0_sites = [p.site for p in plan.patches if p.tactic == Tactic.B0]
-
-        rw = ElfRewriter(self.elf)
-        for vaddr, data in self.image.dirty_patches():
-            rw.patch_vaddr(vaddr, data)
-
-        grouping: GroupingResult | None = None
-        if trampolines:
-            if mode == "phdr":
-                grouping = self._emit_phdr(rw, trampolines)
-            elif mode == "loader":
-                grouping = self._emit_loader(rw, trampolines)
-            else:
-                raise PatchError(f"unknown emission mode {mode!r}")
-        for vaddr, size in self._data_segments:
-            rw.append_segment(
-                AppendedSegment(vaddr=vaddr, data=b"", memsz=size,
-                                flags=elfc.PF_R | elfc.PF_W)
-            )
-
-        if rw.segments or rw.blobs or rw.new_entry is not None:
-            phdr_vaddr = self._allocate_exclusive(
-                (rw.elf.ehdr.phnum + len(rw.segments) + 4) * elfc.PHDR_SIZE
-            )
-            self._emit_reservations(rw, phdr_vaddr)
-            # Dynamic loaders require PT_LOAD entries in ascending vaddr
-            # order, and a reservation segment must precede the real
-            # segments that overlay it.
-            rw.segments.sort(key=lambda seg: seg.vaddr)
-            data = rw.finalize(phdr_vaddr=phdr_vaddr)
-        else:
-            data = rw.finalize(phdr_vaddr=0)
-        stats = plan.stats
-        return RewriteResult(
-            data=data,
-            plan=plan,
-            grouping=grouping,
-            stats=stats,
-            input_size=len(self.elf.data),
-            mode=mode,
-            trampolines=trampolines,
-            b0_sites=b0_sites,
-        )
-
-    # -- emission helpers -------------------------------------------------------
-
-    def _emit_reservations(self, rw: ElfRewriter, phdr_vaddr: int) -> None:
-        """Reserve the loader-mapped trampoline span with zero-fill
-        PT_LOADs so the program loader owns it: the stub's MAP_FIXED
-        mmaps then overlay pages *inside* the process's own reservation
-        instead of clobbering whatever ASLR placed nearby.  Existing
-        image ranges, real appended segments, and the relocated phdr
-        table are carved out."""
-        positive = getattr(self, "_pending_reservation", None)
-        if not positive:
-            return
-        from repro.core.intervals import IntervalSet
-
-        span = IntervalSet()
-        span.add(min(m.vaddr for m in positive),
-                 max(m.vaddr + m.size for m in positive))
-        page = PAGE_SIZE
-
-        def carve(lo: int, hi: int) -> None:
-            span.remove(lo & ~(page - 1), -(-hi // page) * page)
-
-        for p in self.elf.phdrs:
-            if p.type == elfc.PT_LOAD:
-                carve(p.vaddr, p.vaddr + p.memsz)
-        for seg in rw.segments:
-            carve(seg.vaddr, seg.vaddr + (seg.memsz or len(seg.data)))
-        table_size = (self.elf.ehdr.phnum + len(rw.segments) + 4) * elfc.PHDR_SIZE
-        carve(phdr_vaddr, phdr_vaddr + table_size)
-        for res_lo, res_hi in span:
-            rw.append_segment(
-                AppendedSegment(vaddr=res_lo, data=b"",
-                                memsz=res_hi - res_lo, flags=elfc.PF_R)
-            )
-        self._pending_reservation = []
-
-
-
-    def _allocate_exclusive(self, size: int) -> int:
-        """Allocate block-aligned whole blocks for metadata (loader stub,
-        phdr table): non-negative (PT_LOAD-expressible), within rip-
-        relative reach of the entry point, and never sharing a block with
-        any trampoline (later loader mappings must not clobber it)."""
-        block = self.options.granularity * PAGE_SIZE
-        size = -(-size // block) * block
-        entry = self.elf.entry
-        margin = 1 << 20
-        lo = max(self.space.lo_bound, 0, entry - (1 << 31) + margin)
-        hi = min(self.space.hi_bound, entry + (1 << 31) - margin)
-        vaddr = self.space.allocate(lo, hi, size, tag="meta", align=block)
-        if vaddr is None:
-            raise PatchError("no space for metadata segment")
-        return vaddr
-
-    def _emit_phdr(self, rw: ElfRewriter, trampolines: list[Trampoline]) -> GroupingResult:
-        """Naive one-to-one emission: one PT_LOAD per trampoline block."""
-        grouping = group_trampolines(trampolines, block_pages=1, enabled=False)
-        if any(t.vaddr < 0 for t in trampolines):
-            raise PatchError("phdr mode cannot express negative PIE offsets; use loader mode")
-        for grp in grouping.groups:
-            block = grp.members[0]
-            base = block.index * grouping.block_size
-            rw.append_segment(
-                AppendedSegment(
-                    vaddr=base,
-                    data=grp.merged_content(grouping.block_size),
-                    flags=elfc.PF_R | elfc.PF_X,
-                )
-            )
-        if self.elf.ehdr.phnum + len(rw.segments) + 1 > 0xFFFF:
-            raise PatchError("too many segments for phdr mode; use loader mode")
-        return grouping
-
-    def _emit_loader(self, rw: ElfRewriter, trampolines: list[Trampoline]) -> GroupingResult:
-        """Grouped emission through the injected loader stub."""
-        m = self.options.granularity
-        grouping = group_trampolines(
-            trampolines, block_pages=m, enabled=self.options.grouping
-        )
-        block_size = grouping.block_size
-
-        group_offsets: list[int] = []
-        for grp in grouping.groups:
-            group_offsets.append(rw.append_blob(grp.merged_content(block_size)))
-
-        mappings = [
-            Mapping(vaddr=block_base, size=block_size, offset=group_offsets[gi])
-            for block_base, gi in grouping.mappings()
-        ]
-
-        self._pending_reservation = [
-            m for m in mappings if m.vaddr >= 0
-        ]
-
-        from repro.elf.dynamic import find_init_target
-
-        if self.options.shared and find_init_target(self.elf) is not None:
-            # A real shared object: no usable e_entry; hijack DT_INIT.
-            from repro.elf.dynamic import retarget_init
-
-            if self.options.library_path is None:
-                raise PatchError(
-                    "loader-mode shared-object rewriting needs "
-                    "options.library_path (the library's install path)"
-                )
-            init_value_offset, original_init = retarget_init(self.elf, 0)
-            path = self.options.library_path
-            stub_size = loader_size_estimate(len(mappings), len(path) + 1)
-            stub_vaddr = self._allocate_exclusive(stub_size)
-            stub = build_loader(
-                stub_vaddr, mappings, original_init,
-                pie=True, self_path=path,
-            )
-            if len(stub) > stub_size:
-                raise PatchError("loader stub exceeded its size estimate")
-            rw.append_segment(
-                AppendedSegment(vaddr=stub_vaddr, data=stub,
-                                flags=elfc.PF_R | elfc.PF_X)
-            )
-            # Redirect DT_INIT to the stub (in place, like any patch).
-            rw.patch_offset(
-                init_value_offset,
-                stub_vaddr.to_bytes(8, "little"),
-            )
-            return grouping
-
-        stub_size = loader_size_estimate(len(mappings))
-        stub_vaddr = self._allocate_exclusive(stub_size)
-        stub = build_loader(
-            stub_vaddr, mappings, self.elf.entry, pie=self.elf.is_pie
-        )
-        if len(stub) > stub_size:
-            raise PatchError("loader stub exceeded its size estimate")
-        rw.append_segment(
-            AppendedSegment(vaddr=stub_vaddr, data=stub, flags=elfc.PF_R | elfc.PF_X)
-        )
-        rw.set_entry(stub_vaddr)
-        return grouping
+        self.context.plan = plan
+        passes = [GroupPass(), EmitPass()]
+        if self.options.verify:
+            passes.append(VerifyPass())
+        run_pipeline(self.context, passes)
+        return self.context.result()

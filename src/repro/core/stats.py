@@ -64,19 +64,27 @@ class PatchStats:
         return self._pct(self.succeeded)
 
     def row(self) -> dict[str, float | int]:
-        """Table-1-shaped summary."""
+        """Table-1-shaped summary, plus the fallback/failure/trampoline
+        accounting the table drops."""
         return {
             "locs": self.total,
             "base_pct": round(self.base_pct, 2),
             "t1_pct": round(self.t1_pct, 2),
             "t2_pct": round(self.t2_pct, 2),
             "t3_pct": round(self.t3_pct, 2),
+            "b0_pct": round(self.b0_pct, 2),
             "succ_pct": round(self.success_pct, 2),
+            "failed": self.failed,
+            "trampoline_count": self.trampoline_count,
+            "trampoline_bytes": self.trampoline_bytes,
         }
 
     def __str__(self) -> str:
         r = self.row()
         return (
             f"#Loc={r['locs']} Base%={r['base_pct']:.2f} T1%={r['t1_pct']:.2f} "
-            f"T2%={r['t2_pct']:.2f} T3%={r['t3_pct']:.2f} Succ%={r['succ_pct']:.2f}"
+            f"T2%={r['t2_pct']:.2f} T3%={r['t3_pct']:.2f} "
+            f"B0%={r['b0_pct']:.2f} Succ%={r['succ_pct']:.2f} "
+            f"failed={r['failed']} tramps={r['trampoline_count']}"
+            f"/{r['trampoline_bytes']}B"
         )

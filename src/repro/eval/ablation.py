@@ -17,7 +17,7 @@ from dataclasses import dataclass, replace
 
 from repro.core.rewriter import RewriteOptions
 from repro.core.strategy import TacticToggles
-from repro.frontend.tool import instrument_elf
+from repro.frontend.tool import instrument_elf, rewrite_many
 from repro.synth.generator import SynthesisParams, synthesize
 from repro.synth.profiles import BinaryProfile
 from repro.vm.machine import Machine, TrapHandler, run_elf
@@ -38,12 +38,11 @@ def coverage_without_t3(profile: BinaryProfile, app: str = "A1") -> tuple[float,
     """(Succ% with all tactics, Succ% with T3 disabled)."""
     binary = synthesize(SynthesisParams.from_profile(profile))
     matcher = "jumps" if app == "A1" else "heap-writes"
-    full = instrument_elf(binary.data, matcher,
-                          options=RewriteOptions(mode="loader"))
-    no_t3 = instrument_elf(
-        binary.data, matcher,
-        options=RewriteOptions(mode="loader",
-                               toggles=TacticToggles(t3=False)),
+    full, no_t3 = rewrite_many(
+        binary.data,
+        [RewriteOptions(mode="loader"),
+         RewriteOptions(mode="loader", toggles=TacticToggles(t3=False))],
+        matcher=matcher,
     )
     return full.stats.success_pct, no_t3.stats.success_pct
 
@@ -52,10 +51,12 @@ def grouping_size_blowup(profile: BinaryProfile, app: str = "A1") -> tuple[float
     """(Size% with grouping, Size% with the naive 1:1 mapping)."""
     binary = synthesize(SynthesisParams.from_profile(profile))
     matcher = "jumps" if app == "A1" else "heap-writes"
-    grouped = instrument_elf(binary.data, matcher,
-                             options=RewriteOptions(mode="loader", grouping=True))
-    naive = instrument_elf(binary.data, matcher,
-                           options=RewriteOptions(mode="loader", grouping=False))
+    grouped, naive = rewrite_many(
+        binary.data,
+        [RewriteOptions(mode="loader", grouping=True),
+         RewriteOptions(mode="loader", grouping=False)],
+        matcher=matcher,
+    )
     return grouped.result.size_pct, naive.result.size_pct
 
 

@@ -11,12 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.rewriter import RewriteOptions, Rewriter
-from repro.core.strategy import PatchRequest
-from repro.core.trampoline import Empty
-from repro.elf.reader import ElfFile
-from repro.frontend.lineardisasm import disassemble_text
-from repro.frontend.matchers import match_heap_writes
+from repro.core.rewriter import RewriteOptions
+from repro.frontend.tool import RewriteConfig, rewrite_many
 from repro.lowfat import (
     LowFatAllocator,
     LowFatLayout,
@@ -53,20 +49,22 @@ def run_one(profile: BinaryProfile) -> Fig5Row:
     binary = synthesize(params)
     orig = run_elf(binary.data)
 
-    def instrumented_cost(lowfat: bool) -> int:
-        elf = ElfFile(binary.data)
-        instructions = disassemble_text(elf)
-        sites = [i for i in instructions if match_heap_writes(i)]
-        rewriter = Rewriter(elf, instructions, RewriteOptions(mode="loader"))
-        if lowfat:
-            check_vaddr = install_lowfat_heap(rewriter, layout)
-            instr = lowfat_instrumentation(check_vaddr)
-        else:
-            instr = Empty()
-        result = rewriter.rewrite(
-            [PatchRequest(insn=i, instrumentation=instr) for i in sites]
-        )
-        run = run_elf(result.data)
+    def lowfat_factory(rewriter):
+        return lowfat_instrumentation(install_lowfat_heap(rewriter, layout))
+
+    # One batch, one decode: empty-body and LowFat configurations.
+    options = RewriteOptions(mode="loader")
+    reports = rewrite_many(
+        binary.data,
+        [RewriteConfig(instrumentation="empty", options=options,
+                       label="empty"),
+         RewriteConfig(instrumentation=lowfat_factory, options=options,
+                       label="lowfat")],
+        matcher="heap-writes",
+    )
+
+    def cost(report) -> int:
+        run = run_elf(report.result.data)
         if run.observable != orig.observable:
             raise AssertionError(f"behaviour changed for {profile.name}")
         return run.weighted_cost(TRANSFER_WEIGHT)
@@ -74,8 +72,8 @@ def run_one(profile: BinaryProfile) -> Fig5Row:
     base_cost = max(1, orig.weighted_cost(TRANSFER_WEIGHT))
     return Fig5Row(
         name=profile.name,
-        empty_pct=100.0 * instrumented_cost(lowfat=False) / base_cost,
-        lowfat_pct=100.0 * instrumented_cost(lowfat=True) / base_cost,
+        empty_pct=100.0 * cost(reports[0]) / base_cost,
+        lowfat_pct=100.0 * cost(reports[1]) / base_cost,
         paper_empty_pct=profile.a2.time_pct,
     )
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.rewriter import RewriteOptions
-from repro.frontend.tool import instrument_elf
+from repro.frontend.tool import rewrite_many
 from repro.synth.generator import SynthesisParams, synthesize
 from repro.synth.profiles import BinaryProfile
 from repro.vm.machine import run_elf
@@ -59,8 +59,9 @@ def run_sensitivity(
         params.n_write_sites = min(params.n_write_sites, 80)
         binary = synthesize(params)
         orig = run_elf(binary.data)
-        report = instrument_elf(binary.data, "jumps",
-                                options=RewriteOptions(mode="loader"))
+        [report] = rewrite_many(binary.data,
+                                [RewriteOptions(mode="loader")],
+                                matcher="jumps")
         patched = run_elf(report.result.data)
         assert patched.observable == orig.observable
         overheads[profile.name] = {

@@ -13,7 +13,8 @@ from dataclasses import dataclass
 
 from repro.core.rewriter import RewriteOptions
 from repro.core.strategy import TacticToggles
-from repro.frontend.tool import instrument_elf
+from repro.elf.reader import ElfFile
+from repro.frontend.tool import RewriteConfig, rewrite_many
 from repro.synth.generator import SynthesisParams, synthesize
 from repro.synth.profiles import ALL_PROFILES, BinaryProfile, PaperRow
 from repro.vm.machine import run_elf
@@ -52,6 +53,75 @@ class Table1Row:
         ]
 
 
+def run_profile(
+    profile: BinaryProfile,
+    apps: tuple[str, ...] = ("A1", "A2"),
+    *,
+    measure_time: bool = False,
+    toggles: TacticToggles | None = None,
+    grouping: bool = True,
+    granularity: int = 1,
+) -> list[Table1Row]:
+    """Measure the Table 1 cells for *profile*, one row per application.
+
+    The applications are batched through :func:`rewrite_many`, so the
+    stand-in binary is synthesized and disassembled once per profile.
+    """
+    loop_iters = TIME_LOOP_ITERS if measure_time else 0
+    binary = synthesize(
+        SynthesisParams.from_profile(profile, loop_iters=loop_iters)
+    )
+    # Reserve the *unscaled* image footprint so big binaries (browsers)
+    # crowd their rel32 window the way the real ones do.
+    image_end = ElfFile(binary.data).image_end
+    pressure = int(profile.image_pressure_mb * 1024 * 1024)
+    reserve = ((image_end, image_end + pressure),) if pressure else ()
+    options = RewriteOptions(
+        mode="loader", grouping=grouping, granularity=granularity,
+        toggles=toggles or TacticToggles(),
+        shared=profile.shared,
+        reserve_extra=reserve,
+    )
+    configs = [
+        RewriteConfig(
+            matcher="jumps" if app == "A1" else "heap-writes",
+            options=options, label=app,
+        )
+        for app in apps
+    ]
+    reports = rewrite_many(binary.data, configs)
+
+    orig = run_elf(binary.data) if measure_time else None
+    rows: list[Table1Row] = []
+    for app, report in zip(apps, reports):
+        stats = report.stats
+        time_pct: float | None = None
+        if measure_time:
+            patched = run_elf(report.result.data)
+            if patched.observable != orig.observable:
+                raise AssertionError(
+                    f"behaviour changed for {profile.name}/{app}"
+                )
+            time_pct = 100.0 * patched.weighted_cost(TRANSFER_WEIGHT) / max(
+                1, orig.weighted_cost(TRANSFER_WEIGHT)
+            )
+        paper = profile.a1 if app == "A1" else profile.a2
+        rows.append(Table1Row(
+            name=profile.name,
+            app=app,
+            locs=stats.total,
+            base_pct=stats.base_pct,
+            t1_pct=stats.t1_pct,
+            t2_pct=stats.t2_pct,
+            t3_pct=stats.t3_pct,
+            succ_pct=stats.success_pct,
+            size_pct=report.result.size_pct,
+            time_pct=time_pct,
+            paper=paper,
+        ))
+    return rows
+
+
 def run_row(
     profile: BinaryProfile,
     app: str,
@@ -62,53 +132,11 @@ def run_row(
     granularity: int = 1,
 ) -> Table1Row:
     """Measure one Table 1 cell pair for *profile*."""
-    loop_iters = TIME_LOOP_ITERS if measure_time else 0
-    binary = synthesize(
-        SynthesisParams.from_profile(profile, loop_iters=loop_iters)
-    )
-    matcher = "jumps" if app == "A1" else "heap-writes"
-    # Reserve the *unscaled* image footprint so big binaries (browsers)
-    # crowd their rel32 window the way the real ones do.
-    from repro.elf.reader import ElfFile as _ElfFile
-
-    image_end = _ElfFile(binary.data).image_end
-    pressure = int(profile.image_pressure_mb * 1024 * 1024)
-    reserve = ((image_end, image_end + pressure),) if pressure else ()
-    options = RewriteOptions(
-        mode="loader", grouping=grouping, granularity=granularity,
-        toggles=toggles or TacticToggles(),
-        shared=profile.shared,
-        reserve_extra=reserve,
-    )
-    report = instrument_elf(binary.data, matcher, options=options)
-    stats = report.stats
-
-    time_pct: float | None = None
-    if measure_time:
-        orig = run_elf(binary.data)
-        patched = run_elf(report.result.data)
-        if patched.observable != orig.observable:
-            raise AssertionError(
-                f"behaviour changed for {profile.name}/{app}"
-            )
-        time_pct = 100.0 * patched.weighted_cost(TRANSFER_WEIGHT) / max(
-            1, orig.weighted_cost(TRANSFER_WEIGHT)
-        )
-
-    paper = profile.a1 if app == "A1" else profile.a2
-    return Table1Row(
-        name=profile.name,
-        app=app,
-        locs=stats.total,
-        base_pct=stats.base_pct,
-        t1_pct=stats.t1_pct,
-        t2_pct=stats.t2_pct,
-        t3_pct=stats.t3_pct,
-        succ_pct=stats.success_pct,
-        size_pct=report.result.size_pct,
-        time_pct=time_pct,
-        paper=paper,
-    )
+    return run_profile(
+        profile, (app,),
+        measure_time=measure_time, toggles=toggles,
+        grouping=grouping, granularity=granularity,
+    )[0]
 
 
 def run_table(
@@ -122,13 +150,12 @@ def run_table(
     profiles = profiles if profiles is not None else ALL_PROFILES
     rows: list[Table1Row] = []
     for profile in profiles:
-        for app in apps:
-            rows.append(
-                run_row(
-                    profile, app,
-                    measure_time=profile.category in time_for_categories,
-                )
+        rows.extend(
+            run_profile(
+                profile, apps,
+                measure_time=profile.category in time_for_categories,
             )
+        )
     return rows
 
 

@@ -1,23 +1,29 @@
-"""The e9tool analogue: one-call instrumentation of an ELF binary, plus a
-command-line interface.
+"""The e9tool analogue: one-call instrumentation of an ELF binary, a
+batch API over the staged pipeline, and a command-line interface.
 
-``instrument_elf`` wires the pipeline together: linear disassembly ->
-matcher -> strategy S1 -> grouped emission, and returns the patched image
-with the paper's Table-1 statistics.
+``instrument_elf`` runs the standard pass sequence (decode -> match ->
+plan -> group -> emit) for one configuration; ``rewrite_many`` runs many
+configurations of the same binary while decoding the instruction stream
+once and caching matcher results — the eval/ablation drivers are thin
+loops over it.  Both surface per-pass wall-time and counters through the
+shared :class:`~repro.core.observe.Observer`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
+from repro.core.grouping import DEFAULT_MAX_MAP_COUNT
+from repro.core.observe import Observer, stderr_trace_hook
+from repro.core.pipeline import DecodePass, MatchPass, RewriteContext
 from repro.core.rewriter import RewriteOptions, RewriteResult, Rewriter
 from repro.core.strategy import PatchRequest, TacticToggles
 from repro.core.trampoline import Counter, Empty, Instrumentation
 from repro.elf.reader import ElfFile
-from repro.frontend.lineardisasm import disassemble_functions, disassemble_text
-from repro.frontend.matchers import MATCHERS, Matcher, select_sites
+from repro.frontend.matchers import MATCHERS, Matcher
 
 
 @dataclass
@@ -27,10 +33,21 @@ class InstrumentReport:
     result: RewriteResult
     n_sites: int
     counter_vaddr: int | None = None  # set when instrumentation="counter"
+    label: str = ""  # batch configuration label (rewrite_many)
 
     @property
     def stats(self):
         return self.result.stats
+
+    @property
+    def timings(self) -> dict[str, float]:
+        """Per-pass wall-time seconds (cumulative over the observer)."""
+        return self.result.timings
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """Per-pass counters (cumulative over the observer)."""
+        return self.result.counters
 
     def summary(self) -> str:
         s = self.result.stats
@@ -39,40 +56,42 @@ class InstrumentReport:
             f"mode={self.result.mode}"
         )
 
+    def to_dict(self) -> dict:
+        """The full machine-readable stats/timings bundle (CLI ``--json``)."""
+        return {
+            "label": self.label,
+            "n_sites": self.n_sites,
+            "mode": self.result.mode,
+            "input_size": self.result.input_size,
+            "output_size": self.result.output_size,
+            "size_pct": round(self.result.size_pct, 2),
+            "counter_vaddr": self.counter_vaddr,
+            "stats": self.stats.row(),
+            "failures": self.result.plan.failures,
+            "timings": {k: round(v, 6) for k, v in self.result.timings.items()},
+            "counters": self.result.counters,
+        }
 
-def instrument_elf(
-    data: bytes,
-    matcher: Matcher | str,
-    instrumentation: Instrumentation | str | None = None,
-    options: RewriteOptions | None = None,
-    *,
-    frontend: str = "linear",
-) -> InstrumentReport:
-    """Instrument every matched instruction of the binary *data*.
 
-    *matcher* may be a predicate or one of the named matchers
-    (``"jumps"``, ``"heap-writes"``, ``"calls"``, ``"all"``).
-    *instrumentation* may be an :class:`Instrumentation`, ``"empty"``, or
-    ``"counter"`` (a shared 64-bit counter placed in a fresh RW segment;
-    its address is reported in the result).
-    *frontend* selects the disassembly wrapper: ``"linear"`` (whole
-    ``.text`` sweep — the paper's prototype) or ``"symbols"``
-    (symbol-guided sweeps, required for binaries whose .text embeds data,
-    e.g. glibc's hand-written assembly).
+@dataclass
+class RewriteConfig:
+    """One batch entry: matcher + instrumentation + rewrite options.
+
+    ``matcher``/``instrumentation`` left as ``None`` inherit the batch
+    call's defaults, so sweeping options with a fixed matcher stays
+    one-line.
     """
-    if isinstance(matcher, str):
-        matcher = MATCHERS[matcher]
 
-    elf = ElfFile(data)
-    if frontend == "symbols":
-        instructions = disassemble_functions(elf)
-    elif frontend == "linear":
-        instructions = disassemble_text(elf)
-    else:
-        raise ValueError(f"unknown frontend {frontend!r}")
-    sites = select_sites(instructions, matcher)
-    rewriter = Rewriter(elf, instructions, options)
+    matcher: Matcher | str | None = None
+    instrumentation: Instrumentation | str | None = None
+    options: RewriteOptions | None = None
+    label: str = ""
 
+
+def _resolve_instrumentation(
+    rewriter: Rewriter, instrumentation
+) -> tuple[Instrumentation, int | None]:
+    """Turn the user-facing instrumentation spec into a concrete body."""
     counter_vaddr: int | None = None
     if instrumentation is None or instrumentation == "empty":
         instrumentation = Empty()
@@ -83,11 +102,111 @@ def instrument_elf(
                                                       Instrumentation):
         # A factory receiving the rewriter (for runtime code/data setup).
         instrumentation = instrumentation(rewriter)
+    return instrumentation, counter_vaddr
 
-    requests = [PatchRequest(insn=i, instrumentation=instrumentation) for i in sites]
-    result = rewriter.rewrite(requests)
-    return InstrumentReport(result=result, n_sites=len(sites),
-                            counter_vaddr=counter_vaddr)
+
+def prepare_binary(
+    data: bytes,
+    *,
+    frontend: str = "linear",
+    observer: Observer | None = None,
+) -> RewriteContext:
+    """Parse and disassemble *data* once, into a reusable context.
+
+    *frontend* selects the disassembly wrapper: ``"linear"`` (whole
+    ``.text`` sweep — the paper's prototype) or ``"symbols"``
+    (symbol-guided sweeps, required for binaries whose .text embeds data,
+    e.g. glibc's hand-written assembly).
+    """
+    ctx = RewriteContext(
+        elf=ElfFile(data),
+        options=RewriteOptions(),
+        observer=observer or Observer(),
+    )
+    DecodePass(frontend).run(ctx)
+    return ctx
+
+
+def rewrite_many(
+    source: bytes | RewriteContext,
+    configs: list[RewriteConfig | RewriteOptions],
+    *,
+    matcher: Matcher | str = "jumps",
+    instrumentation: Instrumentation | str | None = None,
+    frontend: str = "linear",
+    observer: Observer | None = None,
+) -> list[InstrumentReport]:
+    """Rewrite one binary under many configurations, sharing the decode.
+
+    *source* is the raw ELF bytes, or a context from
+    :func:`prepare_binary` when the caller wants to reuse the decode
+    across several ``rewrite_many`` calls.  Each entry of *configs* is a
+    :class:`RewriteConfig` (or bare :class:`RewriteOptions`, inheriting
+    the call-level *matcher*/*instrumentation* defaults).  The
+    instruction stream is decoded exactly once and matcher results are
+    cached per matcher, which the shared observer's ``pass.decode.runs``
+    / ``pass.match.runs`` counters make checkable.
+    """
+    if isinstance(source, RewriteContext):
+        base = source
+    else:
+        base = prepare_binary(data=source, frontend=frontend,
+                              observer=observer)
+    shared_observer = base.observer
+
+    site_cache: dict[object, list] = {}
+    reports: list[InstrumentReport] = []
+    for cfg in configs:
+        if isinstance(cfg, RewriteOptions):
+            cfg = RewriteConfig(options=cfg)
+        spec = cfg.matcher if cfg.matcher is not None else matcher
+        fn = MATCHERS[spec] if isinstance(spec, str) else spec
+        key = spec if isinstance(spec, str) else id(spec)
+        if key not in site_cache:
+            MatchPass(fn).run(base)
+            site_cache[key] = base.sites
+        sites = site_cache[key]
+
+        rewriter = Rewriter(base.elf, base.instructions, cfg.options,
+                            observer=shared_observer)
+        body = (cfg.instrumentation if cfg.instrumentation is not None
+                else instrumentation)
+        body, counter_vaddr = _resolve_instrumentation(rewriter, body)
+        requests = [PatchRequest(insn=i, instrumentation=body)
+                    for i in sites]
+        result = rewriter.rewrite(requests)
+        reports.append(InstrumentReport(
+            result=result, n_sites=len(sites),
+            counter_vaddr=counter_vaddr, label=cfg.label,
+        ))
+    return reports
+
+
+def instrument_elf(
+    data: bytes,
+    matcher: Matcher | str,
+    instrumentation: Instrumentation | str | None = None,
+    options: RewriteOptions | None = None,
+    *,
+    frontend: str = "linear",
+    observer: Observer | None = None,
+) -> InstrumentReport:
+    """Instrument every matched instruction of the binary *data*.
+
+    *matcher* may be a predicate or one of the named matchers
+    (``"jumps"``, ``"heap-writes"``, ``"calls"``, ``"all"``).
+    *instrumentation* may be an :class:`Instrumentation`, ``"empty"``, or
+    ``"counter"`` (a shared 64-bit counter placed in a fresh RW segment;
+    its address is reported in the result).  A single-configuration
+    :func:`rewrite_many`.
+    """
+    return rewrite_many(
+        data,
+        [RewriteConfig(matcher=matcher, instrumentation=instrumentation,
+                       options=options)],
+        frontend=frontend,
+        observer=observer,
+    )[0]
 
 
 def instrument_elf_auto(
@@ -102,20 +221,19 @@ def instrument_elf_auto(
     granularity M: doubling it until the loader's mapping count fits
     under *max_mappings* (default: the Linux ``vm.max_map_count``
     default), trading physical memory for mappings exactly as Section 4
-    describes.
+    describes.  The adaptive search decodes the binary only once.
     """
-    from dataclasses import replace as _replace
-
-    from repro.core.grouping import DEFAULT_MAX_MAP_COUNT
-
     limit = max_mappings if max_mappings is not None else DEFAULT_MAX_MAP_COUNT
     base = options or RewriteOptions(mode="loader")
+    prepared = prepare_binary(data)
     m = max(1, base.granularity)
     while True:
-        report = instrument_elf(
-            data, matcher, instrumentation,
-            _replace(base, mode="loader", granularity=m),
-        )
+        report = rewrite_many(
+            prepared,
+            [RewriteConfig(matcher=matcher, instrumentation=instrumentation,
+                           options=replace(base, mode="loader",
+                                           granularity=m))],
+        )[0]
         grouping = report.result.grouping
         if grouping is None or grouping.mapping_count <= limit or m >= 1024:
             return report
@@ -154,6 +272,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--stats-json", metavar="FILE",
         help="write the patching statistics as JSON",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the full stats/timings/counters dict as JSON on "
+        "stdout instead of the human summary",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="stream per-pass trace events (start/end, wall time) to "
+        "stderr while rewriting",
+    )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="run the verification pass: re-decode every patched site "
+        "and check its jump target",
     )
     parser.add_argument(
         "--mode", default="auto", choices=("auto", "phdr", "loader"),
@@ -206,6 +339,7 @@ def main(argv: list[str] | None = None) -> int:
         ),
         shared=args.shared,
         library_path=library_path,
+        verify=args.verify,
     )
     with open(args.input, "rb") as f:
         data = f.read()
@@ -229,20 +363,23 @@ def main(argv: list[str] | None = None) -> int:
                 name, _, value = item.partition("=")
                 if value == "alloc":
                     bound[name] = rewriter.add_runtime_data(4096)
-                    print(f"{name} at {bound[name]:#x}")
+                    if not args.json:
+                        print(f"{name} at {bound[name]:#x}")
                 else:
                     bound[name] = int(value, 0)
             return template.instantiate(**bound)
 
         instrumentation = factory
 
+    observer = Observer()
+    if args.trace:
+        observer.add_hook(stderr_trace_hook)
+
     report = instrument_elf(data, matcher, instrumentation, options,
-                            frontend=args.frontend)
-    if report.counter_vaddr is not None:
+                            frontend=args.frontend, observer=observer)
+    if report.counter_vaddr is not None and not args.json:
         print(f"counter at {report.counter_vaddr:#x}")
     if args.stats_json:
-        import json
-
         stats = report.stats.row()
         stats["size_pct"] = round(report.result.size_pct, 2)
         stats["mode"] = report.result.mode
@@ -251,7 +388,11 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(stats, f, indent=2)
     with open(args.output, "wb") as f:
         f.write(report.result.data)
-    print(report.summary())
+    if args.json:
+        json.dump(report.to_dict(), sys.stdout, indent=2)
+        print()
+    else:
+        print(report.summary())
     if report.result.plan.failures:
         print(f"warning: {len(report.result.plan.failures)} sites not patched",
               file=sys.stderr)

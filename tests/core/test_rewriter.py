@@ -152,6 +152,47 @@ class TestRuntimeCode:
             rw.add_runtime_code(lambda v: b"\xc3", 16)
 
 
+class TestErrorPaths:
+    def test_unknown_emission_mode_rejected(self):
+        data = looping_program()
+        with pytest.raises(PatchError, match="unknown emission mode"):
+            rewrite(data, RewriteOptions(mode="bogus"))
+
+    def test_phdr_segment_overflow_rejected(self):
+        data = looping_program()
+        elf = ElfFile(data)
+        # Simulate a program-header table already at the 16-bit e_phnum
+        # limit: appending even one trampoline segment must overflow.
+        elf.ehdr.phnum = 0xFFFF
+        insns = disassemble_text(elf)
+        sites = [i for i in insns if match_jumps(i)]
+        rw = Rewriter(elf, insns, RewriteOptions(mode="phdr"))
+        with pytest.raises(PatchError, match="too many segments"):
+            rw.rewrite([PatchRequest(insn=i, instrumentation=Empty())
+                        for i in sites])
+
+    def test_phdr_negative_pie_offset_rejected(self):
+        data = looping_program(pie=True)
+        elf = ElfFile(data)
+        rw = Rewriter(elf, disassemble_text(elf), RewriteOptions(mode="phdr"))
+        # Exhaust the non-negative range so the next allocation must land
+        # at a negative PIE link-time offset.
+        rw.space.reserve(0, rw.space.hi_bound)
+        vaddr = rw.add_runtime_code(lambda v: b"\xc3" * 16, 16)
+        assert vaddr < 0
+        with pytest.raises(PatchError, match="negative PIE"):
+            rw.rewrite([])
+
+    def test_runtime_code_size_mismatch_message(self):
+        data = looping_program()
+        elf = ElfFile(data)
+        rw = Rewriter(elf, disassemble_text(elf))
+        with pytest.raises(PatchError, match=r"size 1 != reserved 16"):
+            rw.add_runtime_code(lambda v: b"\xc3", 16)
+        # The failed registration must not leave a half-added trampoline.
+        assert rw.context.runtime == []
+
+
 class TestEdgeCases:
     def test_no_sites_returns_original(self):
         data = hello_world()
