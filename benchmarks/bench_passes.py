@@ -1,17 +1,34 @@
-"""Per-pass timing smoke bench.
+"""Per-pass timing smoke bench with a machine-readable result file.
 
-Runs the staged pipeline over a mid-sized synthetic binary three ways
-(single rewrite, verified rewrite, 3-config batch) and prints the
-per-pass wall-time breakdown from the shared :class:`Observer`.  Unlike
-the pytest-benchmark suites this is a plain script — `python
-benchmarks/bench_passes.py` — so CI can use it as a cheap smoke job
-that fails loudly if the pipeline or its accounting regresses.
+Runs the staged pipeline over a mid-sized synthetic binary five ways —
+single rewrite, verified rewrite, 3-config batch, serial-vs-parallel
+8-config batch, cold-vs-warm artifact cache — prints the per-pass
+wall-time breakdown, and writes every measurement as JSON (default
+``benchmarks/out/BENCH_passes.json``, schema ``repro-bench/1``).
+
+CI uses it twice: as a smoke job that exits nonzero if the pipeline or
+its accounting regresses (success rate, shared decode, parallel
+byte-identity, warm-cache decode count), and as the producer for the
+``bench-gate`` job, which compares the JSON against the committed
+baseline ``benchmarks/BENCH_passes.json`` (see ``bench_gate.py``).
+
+``BENCH_INJECT_SLOWDOWN=<factor>`` multiplies every reported wall time
+before writing — the documented way to prove the regression gate trips
+(set it to 2, watch ``bench_gate.py`` fail, unset it).
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import os
+import pathlib
+import platform
 import sys
+import tempfile
+import time
 
+from repro.core.cache import ArtifactCache
 from repro.core.observe import Observer
 from repro.core.rewriter import RewriteOptions
 from repro.core.strategy import TacticToggles
@@ -19,6 +36,10 @@ from repro.frontend.tool import instrument_elf, rewrite_many
 from repro.synth.generator import SynthesisParams, synthesize
 
 N_SITES = 2000
+#: Sites per config for the parallel batch (kept lighter: 8 configs).
+N_PARALLEL_SITES = 1000
+PARALLEL_JOBS = 4
+SCHEMA = "repro-bench/1"
 
 
 def section(title: str, obs: Observer) -> None:
@@ -34,29 +55,156 @@ def section(title: str, obs: Observer) -> None:
     print()
 
 
-def main() -> int:
+def parallel_batch_configs() -> list[RewriteOptions]:
+    """Eight distinct configurations over one binary."""
+    return [
+        RewriteOptions(mode="loader", granularity=g,
+                       toggles=TacticToggles(t3=t3))
+        for g in (1, 2, 4, 8) for t3 in (True, False)
+    ]
+
+
+def bench_serial_vs_parallel(data: bytes, jobs: int,
+                             metrics: dict) -> str | None:
+    """Measure the same 8-config batch serially and with *jobs* workers;
+    any output byte difference is a hard failure."""
+    configs = parallel_batch_configs()
+
+    t0 = time.perf_counter()
+    serial = rewrite_many(data, list(configs), matcher="jumps", jobs=1)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = rewrite_many(data, list(configs), matcher="jumps", jobs=jobs)
+    parallel_s = time.perf_counter() - t0
+
+    if [r.result.data for r in serial] != [r.result.data for r in parallel]:
+        return "parallel batch output differs from serial"
+    speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+    metrics["parallel.batch_configs"] = len(configs)
+    metrics["parallel.jobs"] = jobs
+    metrics["parallel.serial_s"] = serial_s
+    metrics["parallel.parallel_s"] = parallel_s
+    metrics["parallel.speedup"] = round(speedup, 3)
+    cpus = os.cpu_count() or 1
+    print(f"== serial vs parallel ({len(configs)} configs, "
+          f"jobs={jobs}, cpus={cpus}) ==")
+    print(f"serial   {serial_s:8.3f} s")
+    print(f"parallel {parallel_s:8.3f} s   speedup {speedup:.2f}x")
+    print()
+    # The >=1.5x claim holds on multi-core hosts (the CI runners); a
+    # single-core container can only run the determinism check.
+    if cpus >= 4 and jobs >= 4 and speedup < 1.5:
+        return f"parallel speedup {speedup:.2f}x < 1.5x on a {cpus}-cpu host"
+    return None
+
+
+def bench_cache(data: bytes, metrics: dict) -> str | None:
+    """Cold-vs-warm artifact cache; a warm run must do zero decode work."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cold_cache = ArtifactCache(tmp)
+        obs_cold = Observer()
+        t0 = time.perf_counter()
+        cold = rewrite_many(data, [RewriteOptions(mode="loader")],
+                            matcher="jumps", observer=obs_cold,
+                            cache=cold_cache)
+        cold_s = time.perf_counter() - t0
+
+        warm_cache = ArtifactCache(tmp)
+        obs_warm = Observer()
+        t0 = time.perf_counter()
+        warm = rewrite_many(data, [RewriteOptions(mode="loader")],
+                            matcher="jumps", observer=obs_warm,
+                            cache=warm_cache)
+        warm_s = time.perf_counter() - t0
+
+    if warm[0].result.data != cold[0].result.data:
+        return "warm-cache output differs from cold run"
+    warm_decode_runs = obs_warm.runs("decode") + obs_warm.runs("match")
+    metrics["cache.cold_s"] = cold_s
+    metrics["cache.warm_s"] = warm_s
+    metrics["cache.warm_speedup"] = round(cold_s / warm_s, 3) if warm_s else 0.0
+    metrics["cache.warm_decode_runs"] = warm_decode_runs
+    metrics["cache.warm_hits"] = warm_cache.stats.hits
+    print("== artifact cache (cold vs warm) ==")
+    print(f"cold {cold_s:8.3f} s   warm {warm_s:8.3f} s   "
+          f"warm hits {warm_cache.stats.hits}")
+    print()
+    if warm_decode_runs != 0:
+        return f"warm cache ran {warm_decode_runs} decode/match passes"
+    if warm_cache.stats.hits == 0:
+        return "warm cache reported zero hits"
+    return None
+
+
+def write_result(path: pathlib.Path, metrics: dict) -> None:
+    inject = float(os.environ.get("BENCH_INJECT_SLOWDOWN", "1") or "1")
+    if inject != 1.0:
+        metrics = {
+            k: v * inject if k.endswith("_s") else v
+            for k, v in metrics.items()
+        }
+        print(f"(BENCH_INJECT_SLOWDOWN={inject}: wall times scaled)")
+    payload = {
+        "schema": SCHEMA,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count() or 1,
+        },
+        "metrics": {
+            k: round(v, 6) if isinstance(v, float) else v
+            for k, v in sorted(metrics.items())
+        },
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default=str(pathlib.Path(__file__).parent
+                             / "out" / "BENCH_passes.json"),
+        help="result JSON path (schema repro-bench/1)",
+    )
+    parser.add_argument("--jobs", type=int, default=PARALLEL_JOBS,
+                        help="worker count for the parallel section")
+    args = parser.parse_args(argv)
+
+    metrics: dict = {}
+    failures: list[str] = []
+
     binary = synthesize(SynthesisParams(
         n_jump_sites=N_SITES, n_write_sites=N_SITES // 2, seed=4242))
 
     obs = Observer()
+    t0 = time.perf_counter()
     report = instrument_elf(binary.data, "jumps",
                             options=RewriteOptions(mode="loader"),
                             observer=obs)
+    metrics["single.total_s"] = time.perf_counter() - t0
+    for name in ("decode", "match", "plan", "group", "emit"):
+        metrics[f"single.{name}_s"] = obs.timings.get(name, 0.0)
+    metrics["single.succ_pct"] = round(report.stats.success_pct, 3)
     if report.stats.success_pct <= 99.0:
-        print("FAIL: success rate regressed", file=sys.stderr)
-        return 1
+        failures.append("success rate regressed")
     section(f"single rewrite ({report.n_sites} sites, loader mode)", obs)
 
     obs = Observer()
+    t0 = time.perf_counter()
     instrument_elf(binary.data, "jumps",
                    options=RewriteOptions(mode="loader", verify=True),
                    observer=obs)
+    metrics["verified.total_s"] = time.perf_counter() - t0
+    metrics["verified.verify_s"] = obs.timings.get("verify", 0.0)
     if obs.counters.get("verify.sites", 0) == 0:
-        print("FAIL: verify pass checked no sites", file=sys.stderr)
-        return 1
+        failures.append("verify pass checked no sites")
     section("verified rewrite", obs)
 
     obs = Observer()
+    t0 = time.perf_counter()
     rewrite_many(
         binary.data,
         [RewriteOptions(mode="loader"),
@@ -64,11 +212,28 @@ def main() -> int:
          RewriteOptions(mode="loader", toggles=TacticToggles(t3=False))],
         matcher="jumps", observer=obs,
     )
+    metrics["batch3.total_s"] = time.perf_counter() - t0
     if obs.runs("decode") != 1 or obs.runs("plan") != 3:
-        print("FAIL: batch rewrite did not share the decode pass",
-              file=sys.stderr)
-        return 1
+        failures.append("batch rewrite did not share the decode pass")
     section("3-config batch (decode/match shared)", obs)
+
+    parallel_binary = synthesize(SynthesisParams(
+        n_jump_sites=N_PARALLEL_SITES,
+        n_write_sites=N_PARALLEL_SITES // 2, seed=1717))
+    failure = bench_serial_vs_parallel(parallel_binary.data, args.jobs,
+                                       metrics)
+    if failure:
+        failures.append(failure)
+
+    failure = bench_cache(binary.data, metrics)
+    if failure:
+        failures.append(failure)
+
+    write_result(pathlib.Path(args.out), metrics)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
     print("OK")
     return 0
 

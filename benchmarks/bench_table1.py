@@ -20,7 +20,6 @@ from repro.eval.table1 import (
     shape_agreement,
 )
 from repro.synth.profiles import (
-    ALL_PROFILES,
     BROWSER_PROFILES,
     SPEC_PROFILES,
     SYSTEM_PROFILES,

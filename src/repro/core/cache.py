@@ -1,0 +1,235 @@
+"""Content-addressed on-disk artifact cache for the rewrite pipeline.
+
+Rewriting the same binary twice should not decode it twice.  The cache
+persists the expensive, deterministic intermediates of the pipeline —
+decoded instruction streams, matcher results, and (optionally) whole
+rewrite results — keyed by SHA-256 over everything that could change
+them:
+
+* the input bytes;
+* a *toolchain fingerprint* — a digest of the decoder/frontend source
+  modules plus a schema version, so editing the decoder (or bumping
+  :data:`SCHEMA_VERSION`) invalidates every stale entry without any
+  manual cache management;
+* the frontend name, matcher spec, instrumentation spec, and the
+  :class:`~repro.core.pipeline.RewriteOptions` in play, as applicable
+  per artifact kind.
+
+Entries live under ``~/.cache/repro`` (or ``$REPRO_CACHE_DIR``) as
+``<kind>/<aa>/<key>.pkl`` files, written atomically (temp file +
+rename).  Total size is capped (``max_bytes`` / ``$REPRO_CACHE_MAX_MB``)
+with least-recently-used eviction — ``get`` refreshes an entry's mtime,
+``put`` evicts the oldest entries until the cap holds.  A corrupted,
+truncated, or unreadable entry is *never* fatal: it reads as a miss and
+is deleted.  All traffic is tallied in :class:`CacheStats`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import os
+import pickle
+from dataclasses import dataclass, fields
+from pathlib import Path
+
+#: Bump to invalidate every existing cache entry (key layout changes,
+#: pickled payload shape changes, ...).
+SCHEMA_VERSION = 1
+
+#: Environment overrides for the cache location and size cap.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+CACHE_MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
+
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Modules whose source feeds the toolchain fingerprint: anything that
+#: changes what a decoded stream or a match result *means*.
+_FINGERPRINT_MODULES = (
+    "repro.x86.decoder",
+    "repro.x86.tables",
+    "repro.x86.prefixes",
+    "repro.x86.insn",
+    "repro.frontend.lineardisasm",
+    "repro.frontend.matchers",
+)
+
+_fingerprint: str | None = None
+
+
+def toolchain_fingerprint() -> str:
+    """Digest of the decoder/frontend sources + schema version (cached)."""
+    global _fingerprint
+    if _fingerprint is None:
+        h = hashlib.sha256()
+        h.update(f"schema:{SCHEMA_VERSION}".encode())
+        for name in _FINGERPRINT_MODULES:
+            mod = importlib.import_module(name)
+            path = getattr(mod, "__file__", None)
+            h.update(name.encode())
+            if path and os.path.exists(path):
+                with open(path, "rb") as f:
+                    h.update(f.read())
+        _fingerprint = h.hexdigest()
+    return _fingerprint
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+@dataclass
+class CacheStats:
+    """Traffic counters for one :class:`ArtifactCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    errors: int = 0  # corrupted/unreadable entries discarded
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class ArtifactCache:
+    """Size-capped, content-addressed pickle store.
+
+    The generic surface is ``get(kind, key)`` / ``put(kind, key, value)``
+    plus the key builders (:meth:`decode_key`, :meth:`match_key`,
+    :meth:`output_key`).  Failures to read or write are swallowed by
+    design — a cache must only ever make runs faster, never break them.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None,
+                 max_bytes: int | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        if max_bytes is None:
+            raw = os.environ.get(CACHE_MAX_MB_ENV, "").strip()
+            try:
+                max_bytes = int(raw) * 1024 * 1024 if raw else DEFAULT_MAX_BYTES
+            except ValueError:
+                max_bytes = DEFAULT_MAX_BYTES
+        self.max_bytes = max_bytes
+        self.stats = CacheStats()
+
+    # -- key construction ------------------------------------------------
+
+    @staticmethod
+    def _digest(*parts: str) -> str:
+        h = hashlib.sha256()
+        for part in parts:
+            h.update(part.encode())
+            h.update(b"\x00")
+        return h.hexdigest()
+
+    def decode_key(self, data: bytes, frontend: str) -> str:
+        """Key for a decoded instruction stream."""
+        return self._digest(
+            "decode", toolchain_fingerprint(), frontend,
+            hashlib.sha256(data).hexdigest(),
+        )
+
+    def match_key(self, decode_key: str, matcher_spec: str) -> str:
+        """Key for a matcher's site list over one decoded stream.
+
+        Only *named* matchers are cacheable: an arbitrary callable has no
+        stable identity across processes.
+        """
+        return self._digest("match", decode_key, matcher_spec)
+
+    def output_key(self, decode_key: str, matcher_spec: str,
+                   options, instrumentation_spec: str) -> str:
+        """Key for a full rewrite result.  ``repr(options)`` is the
+        options fingerprint — :class:`RewriteOptions` is a plain
+        dataclass, so its repr deterministically covers every field."""
+        return self._digest(
+            "output", decode_key, matcher_spec,
+            instrumentation_spec, repr(options),
+        )
+
+    # -- storage ---------------------------------------------------------
+
+    def _path(self, kind: str, key: str) -> Path:
+        return self.root / kind / key[:2] / f"{key}.pkl"
+
+    def get(self, kind: str, key: str) -> object | None:
+        """The stored value, or None on miss *or any* read failure."""
+        path = self._path(kind, key)
+        try:
+            with open(path, "rb") as f:
+                value = pickle.load(f)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            # Corrupted or stale entry: discard it and report a miss.
+            self.stats.errors += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        try:
+            os.utime(path)  # refresh LRU recency
+        except OSError:
+            pass
+        self.stats.hits += 1
+        return value
+
+    def put(self, kind: str, key: str, value: object) -> None:
+        """Store *value* atomically; evict down to the size cap after."""
+        path = self._path(kind, key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "wb") as f:
+                pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except Exception:
+            self.stats.errors += 1
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return
+        self.stats.stores += 1
+        self._evict()
+
+    def _entries(self) -> list[tuple[float, int, Path]]:
+        """(mtime, size, path) for every entry file under the root."""
+        out = []
+        if not self.root.exists():
+            return out
+        for path in self.root.rglob("*.pkl"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            out.append((st.st_mtime, st.st_size, path))
+        return out
+
+    def _evict(self) -> None:
+        """Delete least-recently-used entries until under ``max_bytes``."""
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return
+        for _, size, path in sorted(entries):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self.stats.evictions += 1
+            total -= size
+            if total <= self.max_bytes:
+                break
+
+    def size_bytes(self) -> int:
+        """Current total size of every entry on disk."""
+        return sum(size for _, size, _ in self._entries())

@@ -71,6 +71,38 @@ class Observer:
         """How many times pass *name* has executed under this observer."""
         return self.counters.get(f"pass.{name}.runs", 0)
 
+    # -- scoped views and cross-observer accumulation --------------------
+
+    def snapshot(self) -> tuple[dict[str, float], dict[str, int]]:
+        """Freeze the current timings/counters (see :meth:`since`)."""
+        return dict(self.timings), dict(self.counters)
+
+    def since(
+        self, snapshot: tuple[dict[str, float], dict[str, int]]
+    ) -> tuple[dict[str, float], dict[str, int]]:
+        """Timings/counters accumulated *after* *snapshot* was taken.
+
+        This is how the batch API reports per-configuration numbers from
+        one shared observer: the observer stays cumulative (so
+        ``runs("decode") == 1`` across a batch remains checkable), while
+        each :class:`RewriteResult` carries only its own run's delta.
+        """
+        t0, c0 = snapshot
+        timings = {k: v - t0.get(k, 0.0) for k, v in self.timings.items()
+                   if v - t0.get(k, 0.0) > 0.0}
+        counters = {k: v - c0.get(k, 0) for k, v in self.counters.items()
+                    if v - c0.get(k, 0) != 0}
+        return timings, counters
+
+    def merge(self, timings: dict[str, float],
+              counters: dict[str, int]) -> None:
+        """Fold another observer's accumulations into this one (used to
+        absorb worker-process observers after a parallel batch)."""
+        for name, seconds in timings.items():
+            self.timings[name] = self.timings.get(name, 0.0) + seconds
+        for name, n in counters.items():
+            self.counters[name] = self.counters.get(name, 0) + n
+
     def as_dict(self) -> dict:
         """JSON-ready snapshot (timings rounded to microseconds)."""
         return {

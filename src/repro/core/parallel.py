@@ -1,0 +1,141 @@
+"""Parallel execution layer for batch rewriting.
+
+E9Patch's headline claim is throughput — Chrome's 86MB of code in under
+a second — and batch workloads (eval sweeps, ablations, corpus rewrites)
+are embarrassingly parallel: every (binary, configuration) pair is an
+independent unit of work.  :class:`BatchExecutor` fans such units out
+across a :mod:`multiprocessing` pool with three guarantees:
+
+* **deterministic ordering** — results come back in input order, no
+  matter which worker finished first;
+* **byte-identical fallback** — when parallelism is unavailable
+  (``jobs=1``, a single item, an unpicklable work item, or a pool
+  failure) the same worker function runs serially in-process, so the
+  outputs are the same bytes either way;
+* **bounded workers** — never more processes than items.
+
+The worker count resolves, in order, from the explicit ``jobs``
+argument, the ``REPRO_JOBS`` environment variable, and finally ``1``
+(serial).  ``jobs <= 0`` means "one per CPU".
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable consulted when no explicit worker count is given.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Resolve a worker count: argument > ``$REPRO_JOBS`` > 1 (serial).
+
+    Non-positive values request one worker per CPU; unparsable
+    environment values fall back to serial rather than failing a run
+    over a typo.
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def is_picklable(obj: object) -> bool:
+    """Whether *obj* survives a pickle round-trip to a worker process."""
+    try:
+        pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+@dataclass
+class ExecutionReport:
+    """How the last :meth:`BatchExecutor.map` call actually ran."""
+
+    jobs: int
+    n_items: int
+    parallel: bool
+    fallback_reason: str | None = None
+
+
+class BatchExecutor:
+    """Deterministic fan-out of independent work items.
+
+    ``map(fn, items)`` behaves like ``[fn(x) for x in items]`` — same
+    results, same order — but runs up to ``jobs`` worker processes when
+    the work can be shipped to them.  ``fn`` must be a module-level
+    callable and every item picklable for the parallel path; anything
+    else degrades to the serial loop (recorded in :attr:`last`).
+    """
+
+    def __init__(self, jobs: int | None = None,
+                 start_method: str | None = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.start_method = start_method
+        self.last: ExecutionReport | None = None
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        work: Sequence[T] = list(items)
+        reason = self._serial_reason(fn, work)
+        if reason is None:
+            try:
+                results = self._map_pool(fn, work)
+            except Exception as exc:  # pool setup/transport failure
+                reason = f"pool failure: {exc!r}"
+            else:
+                self.last = ExecutionReport(
+                    jobs=self.jobs, n_items=len(work), parallel=True
+                )
+                return results
+        self.last = ExecutionReport(
+            jobs=self.jobs, n_items=len(work), parallel=False,
+            fallback_reason=reason,
+        )
+        return [fn(item) for item in work]
+
+    # -- internals -------------------------------------------------------
+
+    def _map_pool(self, fn: Callable[[T], R], work: Sequence[T]) -> list[R]:
+        ctx = multiprocessing.get_context(
+            self.start_method or default_start_method()
+        )
+        with ctx.Pool(min(self.jobs, len(work))) as pool:
+            # chunksize=1: work items are coarse (a whole rewrite), so
+            # dynamic scheduling beats amortized chunking.
+            return pool.map(fn, work, chunksize=1)
+
+    def _serial_reason(self, fn: Callable, work: Sequence) -> str | None:
+        """Why the batch must run serially, or None to go parallel."""
+        if self.jobs <= 1:
+            return "jobs=1"
+        if len(work) <= 1:
+            return "single work item"
+        if not is_picklable(fn):
+            return "worker function not picklable"
+        for i, item in enumerate(work):
+            if not is_picklable(item):
+                return f"work item {i} not picklable"
+        return None
+
+
+def default_start_method() -> str:
+    """``fork`` where available (cheap, inherits the loaded package),
+    else ``spawn`` (which relies on ``PYTHONPATH`` carrying ``src``)."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "spawn"

@@ -34,7 +34,9 @@ class AblationResult:
         return f"{self.label}: {self.value:.2f}{self.unit}"
 
 
-def coverage_without_t3(profile: BinaryProfile, app: str = "A1") -> tuple[float, float]:
+def coverage_without_t3(profile: BinaryProfile, app: str = "A1",
+                        *, jobs: int | None = None,
+                        cache=None) -> tuple[float, float]:
     """(Succ% with all tactics, Succ% with T3 disabled)."""
     binary = synthesize(SynthesisParams.from_profile(profile))
     matcher = "jumps" if app == "A1" else "heap-writes"
@@ -42,12 +44,14 @@ def coverage_without_t3(profile: BinaryProfile, app: str = "A1") -> tuple[float,
         binary.data,
         [RewriteOptions(mode="loader"),
          RewriteOptions(mode="loader", toggles=TacticToggles(t3=False))],
-        matcher=matcher,
+        matcher=matcher, jobs=jobs, cache=cache,
     )
     return full.stats.success_pct, no_t3.stats.success_pct
 
 
-def grouping_size_blowup(profile: BinaryProfile, app: str = "A1") -> tuple[float, float]:
+def grouping_size_blowup(profile: BinaryProfile, app: str = "A1",
+                         *, jobs: int | None = None,
+                         cache=None) -> tuple[float, float]:
     """(Size% with grouping, Size% with the naive 1:1 mapping)."""
     binary = synthesize(SynthesisParams.from_profile(profile))
     matcher = "jumps" if app == "A1" else "heap-writes"
@@ -55,7 +59,7 @@ def grouping_size_blowup(profile: BinaryProfile, app: str = "A1") -> tuple[float
         binary.data,
         [RewriteOptions(mode="loader", grouping=True),
          RewriteOptions(mode="loader", grouping=False)],
-        matcher=matcher,
+        matcher=matcher, jobs=jobs, cache=cache,
     )
     return grouped.result.size_pct, naive.result.size_pct
 

@@ -7,6 +7,18 @@ configurations of the same binary while decoding the instruction stream
 once and caching matcher results — the eval/ablation drivers are thin
 loops over it.  Both surface per-pass wall-time and counters through the
 shared :class:`~repro.core.observe.Observer`.
+
+Two optional accelerators thread through every entry point:
+
+* ``jobs`` — a :class:`~repro.core.parallel.BatchExecutor` shards a
+  batch across worker processes, one (binary, config) pair per task,
+  with deterministic ordering and a serial fallback that produces the
+  same bytes;
+* ``cache`` — an :class:`~repro.core.cache.ArtifactCache` persists
+  decoded instruction streams and matcher results (optionally whole
+  rewrite results) on disk, so warm runs skip ``DecodePass`` and
+  ``MatchPass`` entirely — checkable via ``pass.decode.runs == 0`` and
+  the ``cache.*`` counters.
 """
 
 from __future__ import annotations
@@ -14,10 +26,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
+from repro.core.cache import ArtifactCache
 from repro.core.grouping import DEFAULT_MAX_MAP_COUNT
 from repro.core.observe import Observer, stderr_trace_hook
+from repro.core.parallel import BatchExecutor, is_picklable
 from repro.core.pipeline import DecodePass, MatchPass, RewriteContext
 from repro.core.rewriter import RewriteOptions, RewriteResult, Rewriter
 from repro.core.strategy import PatchRequest, TacticToggles
@@ -41,12 +55,13 @@ class InstrumentReport:
 
     @property
     def timings(self) -> dict[str, float]:
-        """Per-pass wall-time seconds (cumulative over the observer)."""
+        """Per-pass wall-time seconds for this run (batch runs report
+        the per-configuration delta, not the whole batch)."""
         return self.result.timings
 
     @property
     def counters(self) -> dict[str, int]:
-        """Per-pass counters (cumulative over the observer)."""
+        """Per-pass counters for this run (per-configuration delta)."""
         return self.result.counters
 
     def summary(self) -> str:
@@ -110,6 +125,7 @@ def prepare_binary(
     *,
     frontend: str = "linear",
     observer: Observer | None = None,
+    cache: ArtifactCache | None = None,
 ) -> RewriteContext:
     """Parse and disassemble *data* once, into a reusable context.
 
@@ -117,14 +133,175 @@ def prepare_binary(
     ``.text`` sweep — the paper's prototype) or ``"symbols"``
     (symbol-guided sweeps, required for binaries whose .text embeds data,
     e.g. glibc's hand-written assembly).
+
+    With a *cache*, the decoded instruction stream is looked up by
+    content hash first; on a hit ``DecodePass`` never runs (its ``runs``
+    counter stays 0) and ``cache.decode.hits`` is counted instead.
     """
+    observer = observer or Observer()
     ctx = RewriteContext(
         elf=ElfFile(data),
         options=RewriteOptions(),
-        observer=observer or Observer(),
+        observer=observer,
     )
+    key = None
+    if cache is not None:
+        key = cache.decode_key(data, frontend)
+        cached = cache.get("decode", key)
+        if isinstance(cached, list):
+            ctx.instructions = cached
+            observer.count("cache.decode.hits")
+            observer.count("decode.instructions", len(cached))
+            return ctx
+        observer.count("cache.decode.misses")
     DecodePass(frontend).run(ctx)
+    if cache is not None:
+        cache.put("decode", key, ctx.instructions)
     return ctx
+
+
+# -- parallel worker (must be module-level: it crosses a process fork) ----
+
+
+@dataclass
+class _ConfigTask:
+    """One (binary, config) unit shipped to a worker process."""
+
+    data: bytes
+    config: RewriteConfig
+    matcher: Matcher | str
+    instrumentation: Instrumentation | str | None
+    frontend: str
+    cache_root: str | None
+    cache_max_bytes: int
+    cache_outputs: bool
+
+
+def _run_config_task(task: _ConfigTask):
+    """Worker body: a single-configuration serial rewrite, returning the
+    report plus the worker observer's accumulations and cache traffic."""
+    cache = (ArtifactCache(task.cache_root, max_bytes=task.cache_max_bytes)
+             if task.cache_root is not None else None)
+    observer = Observer()
+    [report] = _rewrite_serial(
+        task.data, [task.config],
+        matcher=task.matcher, instrumentation=task.instrumentation,
+        frontend=task.frontend, observer=observer, cache=cache,
+        cache_outputs=task.cache_outputs,
+    )
+    cache_stats = cache.stats.as_dict() if cache is not None else {}
+    return report, observer.timings, observer.counters, cache_stats
+
+
+def _rewrite_serial(
+    source: bytes | RewriteContext,
+    configs: list[RewriteConfig],
+    *,
+    matcher: Matcher | str,
+    instrumentation: Instrumentation | str | None,
+    frontend: str,
+    observer: Observer | None,
+    cache: ArtifactCache | None,
+    cache_outputs: bool,
+) -> list[InstrumentReport]:
+    """The in-process batch loop: one decode, cached matches, and a
+    fresh planner/emitter (hence a fresh allocator) per configuration."""
+    shared_observer = (source.observer if isinstance(source, RewriteContext)
+                       else observer or Observer())
+    # Snapshot *before* decoding: the first configuration's per-run
+    # counters carry the decode/match work its batch actually triggered.
+    run_snapshot = shared_observer.snapshot()
+    if isinstance(source, RewriteContext):
+        base = source
+    else:
+        base = prepare_binary(data=source, frontend=frontend,
+                              observer=shared_observer, cache=cache)
+    decode_key = (cache.decode_key(base.elf.data, frontend)
+                  if cache is not None else None)
+
+    site_cache: dict[object, list] = {}
+    reports: list[InstrumentReport] = []
+    for n, cfg in enumerate(configs):
+        if n > 0:
+            # Per-run counter scope: each configuration's report carries
+            # only its own pass work, not the batch's running total.
+            run_snapshot = shared_observer.snapshot()
+        spec = cfg.matcher if cfg.matcher is not None else matcher
+        sites = _match_sites(base, spec, site_cache, cache, decode_key)
+
+        body_spec = (cfg.instrumentation if cfg.instrumentation is not None
+                     else instrumentation)
+        options = cfg.options or RewriteOptions()
+        output_key = None
+        if (cache is not None and cache_outputs and isinstance(spec, str)
+                and body_spec in (None, "empty")):
+            output_key = cache.output_key(decode_key, spec, options, "empty")
+            hit = cache.get("output", output_key)
+            if (isinstance(hit, tuple) and len(hit) == 2
+                    and isinstance(hit[0], RewriteResult)):
+                result, n_sites = hit
+                shared_observer.count("cache.output.hits")
+                result.timings, result.counters = (
+                    shared_observer.since(run_snapshot))
+                reports.append(InstrumentReport(
+                    result=result, n_sites=n_sites, label=cfg.label))
+                continue
+            shared_observer.count("cache.output.misses")
+
+        rewriter = Rewriter(base.elf, base.instructions, options,
+                            observer=shared_observer)
+        body, counter_vaddr = _resolve_instrumentation(rewriter, body_spec)
+        requests = [PatchRequest(insn=i, instrumentation=body)
+                    for i in sites]
+        result = rewriter.rewrite(requests)
+        result.timings, result.counters = (
+            shared_observer.since(run_snapshot))
+        if output_key is not None:
+            cache.put("output", output_key, (result, len(sites)))
+        reports.append(InstrumentReport(
+            result=result, n_sites=len(sites),
+            counter_vaddr=counter_vaddr, label=cfg.label,
+        ))
+    return reports
+
+
+def _match_sites(
+    base: RewriteContext,
+    spec: Matcher | str,
+    site_cache: dict[object, list],
+    cache: ArtifactCache | None,
+    decode_key: str | None,
+) -> list:
+    """Resolve a matcher spec to its site list: per-batch memo first,
+    then the on-disk cache (named matchers only), then ``MatchPass``."""
+    memo_key = spec if isinstance(spec, str) else id(spec)
+    if memo_key in site_cache:
+        return site_cache[memo_key]
+
+    observer = base.observer
+    match_key = None
+    if cache is not None and isinstance(spec, str):
+        match_key = cache.match_key(decode_key, spec)
+        indices = cache.get("match", match_key)
+        if (isinstance(indices, list)
+                and all(isinstance(i, int)
+                        and 0 <= i < len(base.instructions)
+                        for i in indices)):
+            sites = [base.instructions[i] for i in indices]
+            observer.count("cache.match.hits")
+            observer.count("match.sites", len(sites))
+            site_cache[memo_key] = sites
+            return sites
+        observer.count("cache.match.misses")
+
+    fn = MATCHERS[spec] if isinstance(spec, str) else spec
+    MatchPass(fn).run(base)
+    sites = base.sites
+    if match_key is not None:
+        position = {id(insn): i for i, insn in enumerate(base.instructions)}
+        cache.put("match", match_key, [position[id(s)] for s in sites])
+    site_cache[memo_key] = sites
+    return sites
 
 
 def rewrite_many(
@@ -135,6 +312,9 @@ def rewrite_many(
     instrumentation: Instrumentation | str | None = None,
     frontend: str = "linear",
     observer: Observer | None = None,
+    jobs: int | None = None,
+    cache: ArtifactCache | None = None,
+    cache_outputs: bool = False,
 ) -> list[InstrumentReport]:
     """Rewrite one binary under many configurations, sharing the decode.
 
@@ -142,43 +322,79 @@ def rewrite_many(
     :func:`prepare_binary` when the caller wants to reuse the decode
     across several ``rewrite_many`` calls.  Each entry of *configs* is a
     :class:`RewriteConfig` (or bare :class:`RewriteOptions`, inheriting
-    the call-level *matcher*/*instrumentation* defaults).  The
-    instruction stream is decoded exactly once and matcher results are
-    cached per matcher, which the shared observer's ``pass.decode.runs``
-    / ``pass.match.runs`` counters make checkable.
+    the call-level *matcher*/*instrumentation* defaults).
+
+    Serially, the instruction stream is decoded exactly once and matcher
+    results are memoized per matcher (checkable via the shared
+    observer's ``pass.decode.runs`` / ``pass.match.runs`` counters).
+    With ``jobs > 1`` (or ``$REPRO_JOBS``), picklable configurations fan
+    out one (binary, config) task per worker process; outputs and stats
+    are byte-identical to the serial path, results come back in config
+    order, and worker observers are merged into the shared one.  An
+    unpicklable matcher/instrumentation quietly degrades to serial.
     """
-    if isinstance(source, RewriteContext):
-        base = source
-    else:
-        base = prepare_binary(data=source, frontend=frontend,
-                              observer=observer)
-    shared_observer = base.observer
+    norm = [cfg if isinstance(cfg, RewriteConfig) else RewriteConfig(options=cfg)
+            for cfg in configs]
+    executor = BatchExecutor(jobs)
+    if (executor.jobs > 1 and len(norm) > 1
+            and isinstance(source, (bytes, bytearray))):
+        reports = _rewrite_parallel(
+            executor, bytes(source), norm,
+            matcher=matcher, instrumentation=instrumentation,
+            frontend=frontend, observer=observer, cache=cache,
+            cache_outputs=cache_outputs,
+        )
+        if reports is not None:
+            return reports
+    return _rewrite_serial(
+        source, norm,
+        matcher=matcher, instrumentation=instrumentation,
+        frontend=frontend, observer=observer, cache=cache,
+        cache_outputs=cache_outputs,
+    )
 
-    site_cache: dict[object, list] = {}
+
+def _rewrite_parallel(
+    executor: BatchExecutor,
+    data: bytes,
+    configs: list[RewriteConfig],
+    *,
+    matcher: Matcher | str,
+    instrumentation: Instrumentation | str | None,
+    frontend: str,
+    observer: Observer | None,
+    cache: ArtifactCache | None,
+    cache_outputs: bool,
+) -> list[InstrumentReport] | None:
+    """Fan the batch out across worker processes, or return None when a
+    task cannot be shipped (the caller then takes the serial path, which
+    shares one in-process decode instead)."""
+    tasks = [
+        _ConfigTask(
+            data=data, config=cfg,
+            matcher=matcher, instrumentation=instrumentation,
+            frontend=frontend,
+            cache_root=str(cache.root) if cache is not None else None,
+            cache_max_bytes=cache.max_bytes if cache is not None else 0,
+            cache_outputs=cache_outputs,
+        )
+        for cfg in configs
+    ]
+    if not all(is_picklable(task) for task in tasks):
+        return None
+    outcomes = executor.map(_run_config_task, tasks)
+
+    shared = observer or Observer()
+    shared.count("parallel.tasks", len(tasks))
+    shared.set_counter("parallel.jobs", executor.jobs)
     reports: list[InstrumentReport] = []
-    for cfg in configs:
-        if isinstance(cfg, RewriteOptions):
-            cfg = RewriteConfig(options=cfg)
-        spec = cfg.matcher if cfg.matcher is not None else matcher
-        fn = MATCHERS[spec] if isinstance(spec, str) else spec
-        key = spec if isinstance(spec, str) else id(spec)
-        if key not in site_cache:
-            MatchPass(fn).run(base)
-            site_cache[key] = base.sites
-        sites = site_cache[key]
-
-        rewriter = Rewriter(base.elf, base.instructions, cfg.options,
-                            observer=shared_observer)
-        body = (cfg.instrumentation if cfg.instrumentation is not None
-                else instrumentation)
-        body, counter_vaddr = _resolve_instrumentation(rewriter, body)
-        requests = [PatchRequest(insn=i, instrumentation=body)
-                    for i in sites]
-        result = rewriter.rewrite(requests)
-        reports.append(InstrumentReport(
-            result=result, n_sites=len(sites),
-            counter_vaddr=counter_vaddr, label=cfg.label,
-        ))
+    for report, timings, counters, cache_stats in outcomes:
+        shared.merge(timings, counters)
+        if cache is not None:
+            for name, value in cache_stats.items():
+                setattr(cache.stats, name,
+                        getattr(cache.stats, name) + value)
+        reports.append(report)
     return reports
 
 
@@ -190,6 +406,7 @@ def instrument_elf(
     *,
     frontend: str = "linear",
     observer: Observer | None = None,
+    cache: ArtifactCache | None = None,
 ) -> InstrumentReport:
     """Instrument every matched instruction of the binary *data*.
 
@@ -206,6 +423,7 @@ def instrument_elf(
                        options=options)],
         frontend=frontend,
         observer=observer,
+        cache=cache,
     )[0]
 
 
@@ -216,6 +434,7 @@ def instrument_elf_auto(
     options: RewriteOptions | None = None,
     *,
     max_mappings: int | None = None,
+    cache: ArtifactCache | None = None,
 ) -> InstrumentReport:
     """Like :func:`instrument_elf`, but auto-tunes the page-grouping
     granularity M: doubling it until the loader's mapping count fits
@@ -225,7 +444,7 @@ def instrument_elf_auto(
     """
     limit = max_mappings if max_mappings is not None else DEFAULT_MAX_MAP_COUNT
     base = options or RewriteOptions(mode="loader")
-    prepared = prepare_binary(data)
+    prepared = prepare_binary(data, cache=cache)
     m = max(1, base.granularity)
     while True:
         report = rewrite_many(
@@ -287,6 +506,21 @@ def main(argv: list[str] | None = None) -> int:
         "--verify", action="store_true",
         help="run the verification pass: re-decode every patched site "
         "and check its jump target",
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="worker processes for batch rewrites (default: $REPRO_JOBS "
+        "or serial; 0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=False,
+        help="persist/reuse decoded instruction streams and matcher "
+        "results under the on-disk artifact cache (--no-cache disables)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="artifact cache location (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro)",
     )
     parser.add_argument(
         "--mode", default="auto", choices=("auto", "phdr", "loader"),
@@ -374,9 +608,15 @@ def main(argv: list[str] | None = None) -> int:
     observer = Observer()
     if args.trace:
         observer.add_hook(stderr_trace_hook)
+    cache = ArtifactCache(args.cache_dir) if args.cache else None
 
-    report = instrument_elf(data, matcher, instrumentation, options,
-                            frontend=args.frontend, observer=observer)
+    report = rewrite_many(
+        data,
+        [RewriteConfig(matcher=matcher, instrumentation=instrumentation,
+                       options=options)],
+        frontend=args.frontend, observer=observer,
+        jobs=args.jobs, cache=cache,
+    )[0]
     if report.counter_vaddr is not None and not args.json:
         print(f"counter at {report.counter_vaddr:#x}")
     if args.stats_json:
@@ -389,10 +629,16 @@ def main(argv: list[str] | None = None) -> int:
     with open(args.output, "wb") as f:
         f.write(report.result.data)
     if args.json:
-        json.dump(report.to_dict(), sys.stdout, indent=2)
+        payload = report.to_dict()
+        payload["cache"] = cache.stats.as_dict() if cache is not None else None
+        json.dump(payload, sys.stdout, indent=2)
         print()
     else:
         print(report.summary())
+        if cache is not None:
+            s = cache.stats
+            print(f"cache: {s.hits} hits, {s.misses} misses, "
+                  f"{s.stores} stores")
     if report.result.plan.failures:
         print(f"warning: {len(report.result.plan.failures)} sites not patched",
               file=sys.stderr)

@@ -1,6 +1,5 @@
 """Coverage-map instrumentation (the fuzzing application)."""
 
-import pytest
 
 from repro.apps.coverage import CoverageInstrumenter
 from repro.synth.generator import SynthesisParams, synthesize

@@ -1,9 +1,8 @@
 """The coverage-guided fuzzing loop."""
 
-import pytest
 
 from repro.apps.fuzzer import CRASH_EXIT_CODE, Fuzzer, build_fuzz_target
-from repro.vm.machine import Machine, run_elf
+from repro.vm.machine import Machine
 from tests.conftest import requires_native
 
 

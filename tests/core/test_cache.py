@@ -1,0 +1,100 @@
+"""ArtifactCache: round trips, corruption handling, LRU eviction."""
+
+import os
+
+from repro.core.cache import (
+    CACHE_DIR_ENV,
+    ArtifactCache,
+    default_cache_dir,
+    toolchain_fingerprint,
+)
+
+
+def test_round_trip(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = cache.decode_key(b"\x90\x90", "linear")
+    assert cache.get("decode", key) is None  # cold
+    cache.put("decode", key, ["insn-a", "insn-b"])
+    assert cache.get("decode", key) == ["insn-a", "insn-b"]
+    assert cache.stats.misses == 1
+    assert cache.stats.stores == 1
+    assert cache.stats.hits == 1
+
+
+def test_keys_cover_inputs():
+    cache = ArtifactCache("/nonexistent-unused")
+    base = cache.decode_key(b"aaaa", "linear")
+    assert base != cache.decode_key(b"aaab", "linear")  # input bytes
+    assert base != cache.decode_key(b"aaaa", "symbols")  # frontend
+    m = cache.match_key(base, "jumps")
+    assert m != cache.match_key(base, "calls")
+    assert m != base
+
+
+def test_fingerprint_is_stable_hex():
+    fp = toolchain_fingerprint()
+    assert fp == toolchain_fingerprint()
+    assert len(fp) == 64
+    int(fp, 16)
+
+
+def test_default_dir_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "elsewhere"))
+    assert default_cache_dir() == tmp_path / "elsewhere"
+
+
+def test_corrupted_entry_is_a_miss_and_deleted(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = cache.decode_key(b"data", "linear")
+    cache.put("decode", key, [1, 2, 3])
+    path = cache._path("decode", key)
+    path.write_bytes(b"not a pickle at all")
+
+    assert cache.get("decode", key) is None
+    assert cache.stats.errors == 1
+    assert not path.exists()  # discarded, next put repopulates
+    cache.put("decode", key, [1, 2, 3])
+    assert cache.get("decode", key) == [1, 2, 3]
+
+
+def test_truncated_entry_is_a_miss(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = cache.decode_key(b"data", "linear")
+    cache.put("decode", key, list(range(1000)))
+    path = cache._path("decode", key)
+    path.write_bytes(path.read_bytes()[:10])
+    assert cache.get("decode", key) is None
+    assert cache.stats.errors == 1
+
+
+def test_lru_eviction_drops_oldest(tmp_path):
+    payload = b"x" * 1000
+    cache = ArtifactCache(tmp_path, max_bytes=2500)
+    cache.put("decode", "aa" * 32, payload)
+    cache.put("decode", "bb" * 32, payload)
+    # Make recency unambiguous regardless of filesystem timestamp
+    # granularity: "aa" is clearly the least recently used.
+    os.utime(cache._path("decode", "aa" * 32), (1_000_000, 1_000_000))
+    os.utime(cache._path("decode", "bb" * 32), (2_000_000, 2_000_000))
+
+    cache.put("decode", "cc" * 32, payload)  # pushes total over the cap
+
+    assert cache.stats.evictions >= 1
+    assert cache.get("decode", "aa" * 32) is None  # oldest went first
+    assert cache.get("decode", "cc" * 32) == payload
+    assert cache.size_bytes() <= 2500
+
+
+def test_get_refreshes_recency(tmp_path):
+    cache = ArtifactCache(tmp_path, max_bytes=2500)
+    payload = b"x" * 1000
+    cache.put("decode", "aa" * 32, payload)
+    cache.put("decode", "bb" * 32, payload)
+    os.utime(cache._path("decode", "aa" * 32), (1_000_000, 1_000_000))
+    os.utime(cache._path("decode", "bb" * 32), (2_000_000, 2_000_000))
+
+    cache.get("decode", "aa" * 32)  # touch: now most recently used
+    cache.put("decode", "cc" * 32, payload)
+
+    assert cache.get("decode", "aa" * 32) == payload
+    assert cache.get("decode", "bb" * 32) is None  # evicted instead

@@ -12,7 +12,6 @@ We reproduce that assumption with an allocator restricted to positive
 addresses and check the byte-level outcomes the figure depicts.
 """
 
-import pytest
 
 from repro.core.allocator import AddressSpace
 from repro.core.binary import CodeImage

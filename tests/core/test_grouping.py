@@ -4,7 +4,6 @@ from hypothesis import given, strategies as st
 
 from repro.core.grouping import (
     PAGE_SIZE,
-    group_blocks,
     group_trampolines,
     split_into_blocks,
 )

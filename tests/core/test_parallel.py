@@ -1,0 +1,107 @@
+"""BatchExecutor: worker resolution, fallback reasons, ordering."""
+
+import multiprocessing
+import os
+
+from repro.core.parallel import (
+    JOBS_ENV,
+    BatchExecutor,
+    default_start_method,
+    is_picklable,
+    resolve_jobs,
+)
+
+
+def square(x):
+    return x * x
+
+
+def sum_bytes(item):
+    tag, payload = item
+    return (tag, sum(payload))
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_explicit_argument(self):
+        assert resolve_jobs(3) == 3
+
+    def test_environment_variable(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "5")
+        assert resolve_jobs(None) == 5
+
+    def test_argument_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "5")
+        assert resolve_jobs(2) == 2
+
+    def test_unparsable_environment_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "lots")
+        assert resolve_jobs(None) == 1
+
+    def test_nonpositive_means_one_per_cpu(self):
+        cpus = os.cpu_count() or 1
+        assert resolve_jobs(0) == cpus
+        assert resolve_jobs(-1) == cpus
+
+
+def test_is_picklable():
+    assert is_picklable(42)
+    assert is_picklable(("a", b"bytes", [1, 2]))
+    assert is_picklable(square)  # module-level function
+    assert not is_picklable(lambda x: x)
+
+
+class TestSerialFallback:
+    def test_jobs_one(self):
+        ex = BatchExecutor(jobs=1)
+        assert ex.map(square, [1, 2, 3]) == [1, 4, 9]
+        assert not ex.last.parallel
+        assert ex.last.fallback_reason == "jobs=1"
+
+    def test_single_item(self):
+        ex = BatchExecutor(jobs=4)
+        assert ex.map(square, [7]) == [49]
+        assert not ex.last.parallel
+        assert ex.last.fallback_reason == "single work item"
+
+    def test_unpicklable_function(self):
+        ex = BatchExecutor(jobs=4)
+        assert ex.map(lambda x: x + 1, [1, 2]) == [2, 3]
+        assert not ex.last.parallel
+        assert "not picklable" in ex.last.fallback_reason
+
+    def test_unpicklable_item(self):
+        ex = BatchExecutor(jobs=4)
+        items = [1, lambda: None, 3]
+        assert ex.map(is_picklable, items) == [True, False, True]
+        assert not ex.last.parallel
+        assert ex.last.fallback_reason == "work item 1 not picklable"
+
+    def test_pool_failure_degrades_to_serial(self):
+        ex = BatchExecutor(jobs=2, start_method="no-such-start-method")
+        assert ex.map(square, [1, 2, 3]) == [1, 4, 9]
+        assert not ex.last.parallel
+        assert "pool failure" in ex.last.fallback_reason
+
+
+class TestParallel:
+    def test_results_in_input_order(self):
+        ex = BatchExecutor(jobs=2)
+        items = list(range(16))
+        assert ex.map(square, items) == [x * x for x in items]
+        assert ex.last.parallel
+        assert ex.last.jobs == 2
+        assert ex.last.n_items == 16
+
+    def test_matches_serial_results(self):
+        items = [("a", b"\x01\x02"), ("b", b"\xff" * 10), ("c", b"")]
+        serial = BatchExecutor(jobs=1).map(sum_bytes, list(items))
+        parallel = BatchExecutor(jobs=2).map(sum_bytes, list(items))
+        assert serial == parallel
+
+
+def test_default_start_method_is_supported():
+    assert default_start_method() in multiprocessing.get_all_start_methods()

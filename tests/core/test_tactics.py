@@ -5,7 +5,6 @@ Each scenario controls the address space so that specific windows are
 byte layout, lock state, and decodability of the patched stream.
 """
 
-import pytest
 
 from repro.core.allocator import AddressSpace
 from repro.core.binary import CodeImage

@@ -7,7 +7,7 @@ from repro.elf.builder import hello_world
 from repro.elf.loader import LOADER_FAIL_EXIT, _FAIL_MESSAGE, build_loader, Mapping
 from repro.elf.reader import ElfFile
 from repro.frontend.lineardisasm import disassemble_text
-from repro.vm.machine import Machine, run_elf
+from repro.vm.machine import run_elf
 from repro.x86.decoder import decode_buffer
 
 

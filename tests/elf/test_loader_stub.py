@@ -7,7 +7,6 @@ from repro.elf.builder import hello_world
 from repro.elf.loader import Mapping, build_loader, loader_size_estimate
 from repro.elf.reader import ElfFile
 from repro.frontend.lineardisasm import disassemble_text
-from repro.frontend.matchers import match_jumps
 from repro.vm.machine import Machine
 from repro.x86.decoder import decode_buffer
 from tests.conftest import requires_native

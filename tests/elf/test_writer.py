@@ -100,7 +100,6 @@ class TestAppend:
     def test_pt_phdr_updated(self):
         # Build a file with a PT_PHDR entry first.
         elf = fresh()
-        import copy
 
         from repro.elf.structs import Phdr
 

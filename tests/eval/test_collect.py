@@ -1,6 +1,5 @@
 """The RESULTS.md collector."""
 
-import pathlib
 
 from repro.eval.collect import collect, main
 

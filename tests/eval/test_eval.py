@@ -1,7 +1,6 @@
 """Evaluation harness tests: smoke runs + shape assertions matching the
 paper's headline claims (small configurations to stay fast)."""
 
-import pytest
 
 from repro.eval.ablation import (
     b0_slowdown,

@@ -6,7 +6,6 @@ from repro.core.rewriter import RewriteOptions
 from repro.elf.reader import ElfFile
 from repro.errors import PatchError
 from repro.frontend.lineardisasm import disassemble_text
-from repro.frontend.matchers import match_jumps
 from repro.frontend.partial import (
     WINDOW_BYTES,
     decode_window,

@@ -3,7 +3,6 @@
 import base64
 import json
 
-import pytest
 
 from repro.frontend.protocol import E9PatchSession
 from repro.synth.generator import SynthesisParams, synthesize

@@ -9,7 +9,6 @@ punned/overlapping bytes at those addresses must still implement the
 original instruction's semantics.
 """
 
-import pytest
 
 from repro.core.rewriter import RewriteOptions, Rewriter
 from repro.core.strategy import PatchRequest, TacticToggles

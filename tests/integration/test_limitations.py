@@ -5,7 +5,6 @@ L2: single-byte instructions (ret/push/pop) are the hardest sites;
 L3: patching everything causes inter-patch interference.
 """
 
-import pytest
 
 from repro.core.allocator import AddressSpace
 from repro.core.binary import CodeImage
@@ -15,7 +14,6 @@ from repro.core.tactics import Tactic, TacticContext
 from repro.core.trampoline import Empty
 from repro.frontend.tool import instrument_elf
 from repro.synth.generator import SynthesisParams, synthesize
-from repro.synth.profiles import profile_by_name
 from repro.vm.machine import run_elf
 from repro.x86.decoder import decode_buffer
 

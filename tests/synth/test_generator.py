@@ -1,6 +1,5 @@
 """Synthetic workload generator: determinism, ground truth, runnability."""
 
-import pytest
 
 from repro.elf.reader import ElfFile
 from repro.frontend.lineardisasm import disassemble_text

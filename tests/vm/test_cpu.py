@@ -1,7 +1,6 @@
 """CPU interpreter semantics: golden per-instruction tests + flag
 properties checked against Python reference arithmetic."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.vm.cpu import Cpu, RAX, RCX, RDX, RBX, RSP, RSI, RDI

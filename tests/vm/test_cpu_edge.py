@@ -3,7 +3,7 @@ direction flag, memory-destination forms."""
 
 from hypothesis import given, strategies as st
 
-from tests.vm.test_cpu import CODE, DATA, MASK, RAX, RBX, RCX, RDX, RDI, RSI, make_cpu, run
+from tests.vm.test_cpu import DATA, MASK, RAX, RBX, RCX, RDX, RDI, RSI, run
 
 
 class TestCarryChains:

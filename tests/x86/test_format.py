@@ -1,7 +1,6 @@
 """AT&T operand formatting, cross-validated against objdump."""
 
 import re
-import subprocess
 
 import pytest
 
