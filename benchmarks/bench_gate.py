@@ -13,6 +13,11 @@ Comparison rules, by metric name:
   trip the gate on scheduler noise;
 * ``*speedup`` (ratios, higher is better) — regression when the current
   value falls below ``baseline / (1 + threshold)``;
+* ``*_mb_s`` / ``*_sites_s`` (throughput rates, higher is better) —
+  regression when the current value falls below
+  ``baseline / (1 + threshold)``;
+* ``*_visits`` (work counters, lower is better) — regression when the
+  current value grows past ``baseline * (1 + threshold)``;
 * ``*_runs`` / ``*_configs`` / ``*_pct`` and other exact metrics —
   regression when a counter grows (``_runs``: the warm cache must keep
   reporting zero decode work) or a percentage shrinks (``_pct``).
@@ -47,6 +52,19 @@ def load(path: pathlib.Path) -> dict:
 def compare_metric(name: str, base, cur, threshold: float,
                    min_delta: float) -> tuple[bool, str]:
     """(regressed, verdict text) for one metric pair."""
+    # Throughput rates end in "_s" too — they must be classified before
+    # the wall-time rule, and their regression direction is inverted.
+    if name.endswith(("_mb_s", "_sites_s")):
+        floor = base / (1.0 + threshold)
+        if cur < floor:
+            return True, (f"throughput dropped: {base} -> {cur} "
+                          f"(<{floor:.1f})")
+        return False, f"{base} -> {cur}"
+    if name.endswith("_visits"):
+        limit = base * (1.0 + threshold)
+        if cur > limit:
+            return True, f"work grew: {base} -> {cur} (>{limit:.0f})"
+        return False, f"{base} -> {cur}"
     if name.endswith("_s"):
         limit = base * (1.0 + threshold)
         if cur > limit and cur - base > min_delta:

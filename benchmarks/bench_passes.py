@@ -99,6 +99,46 @@ def bench_serial_vs_parallel(data: bytes, jobs: int,
     return None
 
 
+def check_decode_identity(data: bytes, metrics: dict) -> str | None:
+    """The fast-path decoder must agree with the reference oracle —
+    fields, bytes, and error messages — on every instruction of the
+    bench binary (see INTERNALS.md §7)."""
+    from repro.errors import DecodeError
+    from repro.x86.decoder import decode, decode_reference
+
+    checked = mismatches = 0
+    offset, n = 0, len(data)
+    while offset < n:
+        fast = ref = None
+        fast_err = ref_err = None
+        try:
+            fast = decode(data, offset)
+        except DecodeError as exc:
+            fast_err = str(exc)
+        try:
+            ref = decode_reference(data, offset)
+        except DecodeError as exc:
+            ref_err = str(exc)
+        if fast_err != ref_err or (fast is not None
+                                   and (fast != ref or fast.raw != ref.raw)):
+            mismatches += 1
+        checked += 1
+        if fast is not None:
+            offset += fast.length
+        elif ref is not None:
+            offset += ref.length
+        else:
+            offset += 1
+    metrics["decode.identity_checked"] = checked
+    print(f"== decoder identity (fast vs reference) ==")
+    print(f"{checked} instructions compared, {mismatches} mismatches")
+    print()
+    if mismatches:
+        return (f"fast/reference decoder mismatch on {mismatches} of "
+                f"{checked} instructions")
+    return None
+
+
 def bench_cache(data: bytes, metrics: dict) -> str | None:
     """Cold-vs-warm artifact cache; a warm run must do zero decode work."""
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
@@ -140,10 +180,14 @@ def bench_cache(data: bytes, metrics: dict) -> str | None:
 def write_result(path: pathlib.Path, metrics: dict) -> None:
     inject = float(os.environ.get("BENCH_INJECT_SLOWDOWN", "1") or "1")
     if inject != 1.0:
-        metrics = {
-            k: v * inject if k.endswith("_s") else v
-            for k, v in metrics.items()
-        }
+        def scale(k: str, v):
+            if k.endswith(("_mb_s", "_sites_s")):
+                return v / inject  # throughput falls when time grows
+            if k.endswith("_s"):
+                return v * inject
+            return v
+
+        metrics = {k: scale(k, v) for k, v in metrics.items()}
         print(f"(BENCH_INJECT_SLOWDOWN={inject}: wall times scaled)")
     payload = {
         "schema": SCHEMA,
@@ -187,6 +231,11 @@ def main(argv: list[str] | None = None) -> int:
     metrics["single.total_s"] = time.perf_counter() - t0
     for name in ("decode", "match", "plan", "group", "emit"):
         metrics[f"single.{name}_s"] = obs.timings.get(name, 0.0)
+    throughput = obs.throughput()
+    metrics["single.decode_mb_s"] = throughput.get("decode_mb_s", 0.0)
+    metrics["single.plan_sites_s"] = throughput.get("plan_sites_s", 0.0)
+    metrics["single.alloc_span_visits"] = throughput.get(
+        "alloc_span_visits", 0)
     metrics["single.succ_pct"] = round(report.stats.success_pct, 3)
     if report.stats.success_pct <= 99.0:
         failures.append("success rate regressed")
@@ -226,6 +275,10 @@ def main(argv: list[str] | None = None) -> int:
         failures.append(failure)
 
     failure = bench_cache(binary.data, metrics)
+    if failure:
+        failures.append(failure)
+
+    failure = check_decode_identity(binary.data, metrics)
     if failure:
         failures.append(failure)
 

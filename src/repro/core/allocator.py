@@ -7,10 +7,19 @@ usable space extends to *negative* link-time offsets — at runtime the
 image is loaded high, so the whole ±2 GiB window around the code is
 valid, which is the paper's explanation for the much higher PIE baseline
 coverage.
+
+Hot-path structure (see INTERNALS.md §7): ``allocations`` is a dict keyed
+by vaddr so rollback ``release`` is O(1), and first-fit searches keep a
+*gap hint* per window origin — "no gap of ≥ N bytes starts below address
+A in this window" — so thousands of same-window allocations stop
+rescanning the exhausted low spans.  Hints are conservative: they are
+only consulted for requests at least as large as the proven size, and
+released space invalidates every hint above the released (merged) span.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.core.intervals import IntervalSet
@@ -55,18 +64,29 @@ class AddressSpace:
     lo_bound: int = MMAP_MIN_ADDR
     hi_bound: int = USER_SPACE_TOP
     free: IntervalSet = field(default_factory=IntervalSet)
-    allocations: list[Allocation] = field(default_factory=list)
+    allocations: dict[int, Allocation] = field(default_factory=dict)
     pack_pages: bool = False
     # Observability: number of free-list gap searches performed (one per
     # find_gap call, including failed and packed-page attempts).
     probes: int = 0
+    #: Verify free/allocated/page-hint consistency after every mutation
+    #: (expensive; enabled by tests and ``REPRO_DEBUG_ALLOC``).
+    debug_invariants: bool = False
     _used_pages: IntervalSet = field(default_factory=IntervalSet)
+    # page vaddr -> number of live allocations touching it; drives
+    # _used_pages eviction on release.
+    _page_refs: dict[int, int] = field(default_factory=dict)
+    # window origin (clamped lo) -> (addr, size): no gap of >= size bytes
+    # starts in [lo, addr).  Only maintained for align == 1 searches.
+    _gap_hints: dict[int, tuple[int, int]] = field(default_factory=dict)
 
     PAGE = 4096
 
     def __post_init__(self) -> None:
         if not self.free:
             self.free.add(self.lo_bound, self.hi_bound)
+        if os.environ.get("REPRO_DEBUG_ALLOC"):
+            self.debug_invariants = True
 
     @classmethod
     def for_binary(
@@ -104,6 +124,12 @@ class AddressSpace:
         """Mark ``[lo, hi)`` permanently unusable."""
         self.free.remove(lo, hi)
 
+    @property
+    def span_visits(self) -> int:
+        """Free-list spans examined across all gap searches (see
+        :attr:`IntervalSet.visits`)."""
+        return self.free.visits
+
     def allocate(self, window_lo: int, window_hi: int, size: int,
                  tag: str = "", align: int = 1) -> int | None:
         """Allocate *size* bytes with the start address inside the window.
@@ -125,30 +151,107 @@ class AddressSpace:
                     break
         if t is None:
             self.probes += 1
-            t = self.free.find_gap(lo, hi, size, align=align)
+            if align == 1:
+                t = self._find_gap_hinted(lo, hi, size)
+            else:
+                t = self.free.find_gap(lo, hi, size, align=align)
         if t is None:
             return None
         self.free.remove(t, t + size)
-        self.allocations.append(Allocation(vaddr=t, size=size, tag=tag))
+        self.allocations[t] = Allocation(vaddr=t, size=size, tag=tag)
         page = self.PAGE
-        self._used_pages.add(t - t % page, t + size + (-(t + size)) % page)
+        first = t - t % page
+        last = t + size + (-(t + size)) % page
+        self._used_pages.add(first, last)
+        refs = self._page_refs
+        for p in range(first, last, page):
+            refs[p] = refs.get(p, 0) + 1
+        if self.debug_invariants:
+            self.check_invariants()
+        return t
+
+    def _find_gap_hinted(self, lo: int, hi: int, size: int) -> int | None:
+        """First-fit search with a per-window-origin skip cursor.
+
+        A recorded hint ``(addr, proven)`` for origin *lo* means first-fit
+        already proved no gap of ≥ *proven* bytes starts in ``[lo, addr)``;
+        a request of ``size >= proven`` may therefore begin at *addr*.
+        """
+        hint = self._gap_hints.get(lo)
+        start = lo
+        if hint is not None and size >= hint[1] and hint[0] > lo:
+            start = min(hint[0], hi)
+        t = self.free.find_gap(start, hi, size)
+        self._gap_hints[lo] = (t if t is not None else hi, size)
         return t
 
     def release(self, vaddr: int, size: int) -> None:
-        """Return an extent to the free pool (tactic rollback).
-
-        The page-occupancy hint is left as-is: stale hints only bias
-        future placements and cost nothing if the page stays empty.
-        """
+        """Return an extent to the free pool (tactic rollback)."""
         self.free.add(vaddr, vaddr + size)
-        for i in range(len(self.allocations) - 1, -1, -1):
-            a = self.allocations[i]
-            if a.vaddr == vaddr and a.size == size:
-                del self.allocations[i]
-                return
+        a = self.allocations.get(vaddr)
+        if a is not None and a.size == size:
+            del self.allocations[vaddr]
+        # Freed space may merge with a lower span, creating gaps below any
+        # recorded search cursor: drop every hint above the merged span.
+        if self._gap_hints:
+            span = self.free.span_at(vaddr)
+            merged_lo = span[0] if span is not None else vaddr
+            self._gap_hints = {
+                k: v for k, v in self._gap_hints.items() if v[0] <= merged_lo
+            }
+        # Page-occupancy hints: un-count this extent's pages and evict
+        # pages with no remaining allocation, so rollback-heavy runs do
+        # not leave ``pack_pages`` probing dead pages forever.
+        page = self.PAGE
+        first = vaddr - vaddr % page
+        last = vaddr + size + (-(vaddr + size)) % page
+        refs = self._page_refs
+        for p in range(first, last, page):
+            n = refs.get(p)
+            if n is None:
+                continue
+            if n <= 1:
+                del refs[p]
+                self._used_pages.remove(p, p + page)
+            else:
+                refs[p] = n - 1
+        if self.debug_invariants:
+            self.check_invariants()
+
+    def check_invariants(self) -> None:
+        """Assert allocator consistency (debug aid; O(n log n)).
+
+        * free space and live allocations are disjoint;
+        * live allocations are pairwise disjoint;
+        * every page of every live allocation is in the page-occupancy
+          hint set, and every hinted page is backed by a reference count.
+        """
+        prev_end = None
+        for vaddr in sorted(self.allocations):
+            a = self.allocations[vaddr]
+            assert a.vaddr == vaddr, "allocation key/vaddr mismatch"
+            assert not self.free.overlaps(a.vaddr, a.end), (
+                f"allocation [{a.vaddr:#x},{a.end:#x}) overlaps free space"
+            )
+            assert prev_end is None or a.vaddr >= prev_end, (
+                f"allocations overlap at {a.vaddr:#x}"
+            )
+            prev_end = a.end
+            page = self.PAGE
+            first = a.vaddr - a.vaddr % page
+            last = a.end + (-a.end) % page
+            for p in range(first, last, page):
+                assert self._used_pages.contains(p, p + page), (
+                    f"page {p:#x} of live allocation missing from page hints"
+                )
+                assert self._page_refs.get(p, 0) > 0, (
+                    f"page {p:#x} of live allocation has no reference count"
+                )
+        for p, n in self._page_refs.items():
+            assert n > 0, f"page {p:#x} has non-positive refcount {n}"
 
     def is_free(self, lo: int, hi: int) -> bool:
         return self.free.contains(lo, hi)
 
     def used_bytes(self) -> int:
-        return sum(a.size for a in self.allocations)
+        return sum(a.size for a in self.allocations.values())

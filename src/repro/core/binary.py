@@ -32,6 +32,12 @@ class CodeImage:
     def __init__(self) -> None:
         self.ranges: list[CodeRange] = []
         self.dirty: list[tuple[int, int]] = []  # (vaddr, length)
+        #: Monotonic mutation counter: bumped by every byte or lock-state
+        #: change.  Caches keyed on image contents (the plan pass's
+        #: pun-window memo) compare against this to invalidate.
+        self.version: int = 0
+        # Single-entry range cache: patch loops hammer the same range.
+        self._last_range: CodeRange | None = None
 
     @classmethod
     def from_ranges(cls, ranges: list[tuple[int, bytes]]) -> "CodeImage":
@@ -47,8 +53,12 @@ class CodeImage:
         self.ranges.sort(key=lambda r: r.base)
 
     def range_at(self, vaddr: int) -> CodeRange | None:
+        r = self._last_range
+        if r is not None and r.base <= vaddr < r.base + len(r.data):
+            return r
         for r in self.ranges:
-            if r.base <= vaddr < r.end:
+            if r.base <= vaddr < r.base + len(r.data):
+                self._last_range = r
                 return r
         return None
 
@@ -75,6 +85,7 @@ class CodeImage:
         i = vaddr - r.base
         r.data[i : i + len(data)] = data
         self.dirty.append((vaddr, len(data)))
+        self.version += 1
 
     def write_unchecked(self, vaddr: int, data: bytes) -> None:
         """Overwrite bytes without lock bookkeeping (rollback support)."""
@@ -83,6 +94,7 @@ class CodeImage:
             raise PatchError(f"write outside code image at {vaddr:#x}")
         i = vaddr - r.base
         r.data[i : i + len(data)] = data
+        self.version += 1
 
     def pun(self, vaddr: int, length: int) -> None:
         """Mark bytes as fixed rel32 cells (PUNNED)."""
@@ -90,6 +102,17 @@ class CodeImage:
         if r is None or vaddr + length > r.end:
             raise PatchError(f"pun outside code image at {vaddr:#x}")
         r.locks.lock_punned(vaddr, length)
+        self.version += 1
+
+    def restore_locks(self, vaddr: int, states: bytes) -> None:
+        """Restore a lock-state snapshot (transaction rollback).
+
+        Goes through the image (rather than the raw :class:`LockMap`) so
+        the mutation bumps :attr:`version` — lock state feeds pun-window
+        enumeration, so rollbacks must invalidate those caches too.
+        """
+        self.locks_for(vaddr).restore(vaddr, states)
+        self.version += 1
 
     def is_writable(self, vaddr: int, length: int) -> bool:
         r = self.range_at(vaddr)

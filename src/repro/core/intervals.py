@@ -16,6 +16,10 @@ class IntervalSet:
     def __init__(self, intervals: list[tuple[int, int]] | None = None) -> None:
         self._starts: list[int] = []
         self._ends: list[int] = []
+        #: Observability: spans examined by :meth:`find_gap` over this
+        #: set's lifetime.  The allocator's search-cursor optimization is
+        #: measured (and gated) as a reduction of this counter.
+        self.visits: int = 0
         if intervals:
             for lo, hi in intervals:
                 self.add(lo, hi)
@@ -103,6 +107,7 @@ class IntervalSet:
 
         i = bisect_right(self._starts, window_lo) - 1
         if i >= 0 and self._ends[i] > window_lo:
+            self.visits += 1
             t = align_up(window_lo)
             if t < window_hi and self._ends[i] - t >= size:
                 return t
@@ -110,11 +115,19 @@ class IntervalSet:
         else:
             i += 1
         while i < len(self._starts) and self._starts[i] < window_hi:
+            self.visits += 1
             s, e = self._starts[i], self._ends[i]
             t = align_up(max(s, window_lo))
             if t < window_hi and e - t >= size:
                 return t
             i += 1
+        return None
+
+    def span_at(self, point: int) -> tuple[int, int] | None:
+        """The span containing *point* (or starting at it), if any."""
+        i = bisect_right(self._starts, point) - 1
+        if i >= 0 and self._ends[i] > point:
+            return self._starts[i], self._ends[i]
         return None
 
     def spans_overlapping(self, lo: int, hi: int,

@@ -55,19 +55,23 @@ class LockMap:
         if not self.in_range(vaddr, length):
             return False
         i = vaddr - self.base
-        return all(s == UNLOCKED for s in self._state[i : i + length])
+        # UNLOCKED is 0, so "all unlocked" is a C-level truthiness scan.
+        return not any(self._state[i : i + length])
 
     def lock_modified(self, vaddr: int, length: int = 1) -> None:
         """Mark bytes as overwritten; they must currently be UNLOCKED."""
         i = self._index(vaddr)
         if length:
             self._index(vaddr + length - 1)
-        for k in range(i, i + length):
-            if self._state[k] != UNLOCKED:
-                raise LockViolation(
-                    f"byte {self.base + k:#x} already {_NAMES[self._state[k]]}"
-                )
-            self._state[k] = MODIFIED
+        state = self._state
+        if any(state[i : i + length]):
+            for k in range(i, i + length):
+                if state[k] != UNLOCKED:
+                    raise LockViolation(
+                        f"byte {self.base + k:#x} already "
+                        f"{_NAMES[state[k]]}"
+                    )
+        state[i : i + length] = bytes((MODIFIED,)) * length
     def lock_punned(self, vaddr: int, length: int = 1) -> None:
         """Mark bytes as relied-upon (fixed rel32 cells).
 

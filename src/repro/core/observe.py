@@ -103,11 +103,28 @@ class Observer:
         for name, n in counters.items():
             self.counters[name] = self.counters.get(name, 0) + n
 
+    def throughput(self) -> dict[str, float | int]:
+        """Derived hot-path rate metrics (see INTERNALS.md §7).
+
+        * ``decode_mb_s`` — megabytes of instruction bytes decoded per
+          second of DecodePass wall time;
+        * ``plan_sites_s`` — patch sites planned per second of PlanPass
+          wall time;
+        * ``alloc_span_visits`` — free-list spans examined across all
+          allocator gap searches (plan + emit); the indexed allocator's
+          figure of merit — lower is better.
+
+        Rates whose timing denominator is missing or zero are omitted,
+        so the dict is safe to merge into JSON reports unconditionally.
+        """
+        return derive_throughput(self.timings, self.counters)
+
     def as_dict(self) -> dict:
         """JSON-ready snapshot (timings rounded to microseconds)."""
         return {
             "timings": {k: round(v, 6) for k, v in sorted(self.timings.items())},
             "counters": dict(sorted(self.counters.items())),
+            "throughput": self.throughput(),
         }
 
     def format_timings(self) -> str:
@@ -123,6 +140,31 @@ class Observer:
             )
         ]
         return "\n".join(lines)
+
+
+def derive_throughput(
+    timings: dict[str, float], counters: dict[str, int]
+) -> dict[str, float | int]:
+    """Compute the hot-path rate metrics from raw timings/counters.
+
+    Works on any (timings, counters) pair — a live :class:`Observer`'s
+    accumulations or a per-run delta from :meth:`Observer.since` — so
+    per-configuration reports can derive their own rates.
+    """
+    out: dict[str, float | int] = {}
+    decode_s = timings.get("decode", 0.0)
+    decode_bytes = counters.get("decode.bytes", 0)
+    if decode_s > 0.0 and decode_bytes:
+        out["decode_mb_s"] = round(decode_bytes / decode_s / 1e6, 3)
+    plan_s = timings.get("plan", 0.0)
+    plan_sites = counters.get("plan.sites", 0)
+    if plan_s > 0.0 and plan_sites:
+        out["plan_sites_s"] = round(plan_sites / plan_s, 1)
+    visits = (counters.get("plan.alloc_span_visits", 0)
+              + counters.get("emit.alloc_span_visits", 0))
+    if visits:
+        out["alloc_span_visits"] = visits
+    return out
 
 
 def stderr_trace_hook(event: str, payload: dict) -> None:

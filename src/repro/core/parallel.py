@@ -12,7 +12,11 @@ across a :mod:`multiprocessing` pool with three guarantees:
   (``jobs=1``, a single item, an unpicklable work item, or a pool
   failure) the same worker function runs serially in-process, so the
   outputs are the same bytes either way;
-* **bounded workers** — never more processes than items.
+* **bounded workers** — never more processes than items *or CPUs*.
+  A pool that cannot run two workers concurrently (one-CPU hosts,
+  effectively) is pure overhead, so such batches auto-serialize;
+  callers can probe this ahead of time via
+  :meth:`BatchExecutor.would_parallelize`.
 
 The worker count resolves, in order, from the explicit ``jobs``
 argument, the ``REPRO_JOBS`` environment variable, and finally ``1``
@@ -84,10 +88,32 @@ class BatchExecutor:
     """
 
     def __init__(self, jobs: int | None = None,
-                 start_method: str | None = None) -> None:
+                 start_method: str | None = None,
+                 cpu_count: int | None = None) -> None:
         self.jobs = resolve_jobs(jobs)
         self.start_method = start_method
+        self.cpu_count = cpu_count if cpu_count is not None else (
+            os.cpu_count() or 1)
         self.last: ExecutionReport | None = None
+
+    def effective_workers(self, n_items: int) -> int:
+        """Workers that would actually run concurrently for *n_items*.
+
+        Bounded by the requested ``jobs``, the host CPU count, and the
+        item count: a pool wider than any of those only adds fork and
+        pickle overhead without adding concurrency.
+        """
+        return max(0, min(self.jobs, self.cpu_count, n_items))
+
+    def would_parallelize(self, n_items: int) -> bool:
+        """Whether a batch of *n_items* would take the parallel path.
+
+        Callers with a cheaper serial strategy (e.g. ``rewrite_many``'s
+        shared single decode) should consult this *before* committing to
+        the parallel code path: when the pool cannot beat one process —
+        one CPU, one item, or ``jobs=1`` — fanning out loses twice, once
+        on fork/pickle overhead and once on the forfeited sharing."""
+        return self.effective_workers(n_items) > 1
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
         work: Sequence[T] = list(items)
@@ -114,7 +140,7 @@ class BatchExecutor:
         ctx = multiprocessing.get_context(
             self.start_method or default_start_method()
         )
-        with ctx.Pool(min(self.jobs, len(work))) as pool:
+        with ctx.Pool(self.effective_workers(len(work))) as pool:
             # chunksize=1: work items are coarse (a whole rewrite), so
             # dynamic scheduling beats amortized chunking.
             return pool.map(fn, work, chunksize=1)
@@ -125,6 +151,8 @@ class BatchExecutor:
             return "jobs=1"
         if len(work) <= 1:
             return "single work item"
+        if self.effective_workers(len(work)) <= 1:
+            return f"effective workers <= 1 (cpus={self.cpu_count})"
         if not is_picklable(fn):
             return "worker function not picklable"
         for i, item in enumerate(work):

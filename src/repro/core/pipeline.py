@@ -298,6 +298,9 @@ class DecodePass(PipelinePass):
         else:
             raise ValueError(f"unknown frontend {self.frontend!r}")
         ctx.observer.count("decode.instructions", len(ctx.instructions))
+        ctx.observer.count(
+            "decode.bytes", sum(i.length for i in ctx.instructions)
+        )
 
 
 class MatchPass(PipelinePass):
@@ -333,6 +336,9 @@ class PlanPass(PipelinePass):
             )
         ctx.requests = requests
         probes_before = ctx.space.probes
+        visits_before = ctx.space.span_visits
+        pw_hits_before = ctx.tactics.pw_hits
+        pw_misses_before = ctx.tactics.pw_misses
         ctx.plan = patch_all(ctx.tactics, requests, ctx.options.toggles)
 
         obs = ctx.observer
@@ -343,6 +349,11 @@ class PlanPass(PipelinePass):
         obs.count("plan.trampolines", ctx.plan.stats.trampoline_count)
         obs.count("plan.trampoline_bytes", ctx.plan.stats.trampoline_bytes)
         obs.count("plan.alloc_probes", ctx.space.probes - probes_before)
+        obs.count("plan.alloc_span_visits",
+                  ctx.space.span_visits - visits_before)
+        obs.count("plan.pun_cache_hits", ctx.tactics.pw_hits - pw_hits_before)
+        obs.count("plan.pun_cache_misses",
+                  ctx.tactics.pw_misses - pw_misses_before)
 
 
 class GroupPass(PipelinePass):
@@ -393,6 +404,7 @@ class EmitPass(PipelinePass):
     def execute(self, ctx: RewriteContext) -> None:
         ctx.prepare_workspace()
         probes_before = ctx.space.probes
+        visits_before = ctx.space.span_visits
         rw = ElfRewriter(ctx.elf)
         for vaddr, data in ctx.image.dirty_patches():
             rw.patch_vaddr(vaddr, data)
@@ -426,6 +438,8 @@ class EmitPass(PipelinePass):
         obs.count("emit.segments", len(rw.segments))
         obs.count("emit.blobs", len(rw.blobs))
         obs.count("emit.alloc_probes", ctx.space.probes - probes_before)
+        obs.count("emit.alloc_span_visits",
+                  ctx.space.span_visits - visits_before)
 
     # -- emission helpers ------------------------------------------------
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.binary import CodeImage
+from repro.x86.prefixes import jump_padding
 
 JMP_OPCODE = 0xE9
 SHORT_JMP_OPCODE = 0xEB
@@ -28,9 +29,16 @@ def _signext32(value: int) -> int:
     return (value ^ 0x80000000) - 0x80000000
 
 
-@dataclass(frozen=True)
+_PW_FIELDS = ("jump_addr", "padding", "free", "target_lo", "target_hi",
+              "written_len", "punned_len")
+
+
 class PunWindow:
     """One candidate punned-jump placement.
+
+    A plain ``__slots__`` class (not a dataclass): window enumeration is
+    the plan pass's hottest constructor, and most windows are discarded
+    after one allocation probe.  Treat instances as immutable.
 
     Attributes:
         jump_addr: address of the first written byte (padding or opcode).
@@ -42,13 +50,30 @@ class PunWindow:
             locked PUNNED ([jump_addr+written_len, +punned_len)).
     """
 
-    jump_addr: int
-    padding: int
-    free: int
-    target_lo: int
-    target_hi: int
-    written_len: int
-    punned_len: int
+    __slots__ = _PW_FIELDS
+
+    def __init__(self, jump_addr: int, padding: int, free: int,
+                 target_lo: int, target_hi: int,
+                 written_len: int, punned_len: int) -> None:
+        self.jump_addr = jump_addr
+        self.padding = padding
+        self.free = free
+        self.target_lo = target_lo
+        self.target_hi = target_hi
+        self.written_len = written_len
+        self.punned_len = punned_len
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not PunWindow:
+            return NotImplemented
+        return all(getattr(self, f) == getattr(other, f)
+                   for f in _PW_FIELDS)
+
+    __hash__ = None  # mutable container semantics, like the old dataclass
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{f}={getattr(self, f)!r}" for f in _PW_FIELDS)
+        return f"PunWindow({body})"
 
     @property
     def jump_end(self) -> int:
@@ -64,8 +89,6 @@ class PunWindow:
     def encode(self, target: int) -> bytes:
         """The *written* bytes (padding + opcode + free rel32 bytes) for
         a jump to *target*; fixed rel32 bytes are not written."""
-        from repro.x86.prefixes import jump_padding
-
         rel = self.rel32_for(target) & 0xFFFFFFFF
         full = (
             jump_padding(self.padding)
@@ -100,37 +123,40 @@ def pun_windows(
         max_padding = room - 1
     max_padding = min(max_padding, room - 1, MAX_JUMP_LEN - 5)
 
-    if not image.is_writable(jump_addr, room):
+    # One range lookup for the whole enumeration; the padding loop reads
+    # fixed bytes straight out of the range buffer.
+    r = image.range_at(jump_addr)
+    if r is None or not r.locks.is_writable(jump_addr, room):
         return windows
+    r_base, r_end, r_data = r.base, r.end, r.data
 
+    append = windows.append
+    from_bytes = int.from_bytes
     for p in range(min_padding, max_padding + 1):
         rel_pos = jump_addr + p + 1
         jump_end = rel_pos + 4
-        free = max(0, min(4, writable_end - rel_pos))
+        free = writable_end - rel_pos
+        if free > 4:
+            free = 4
+        elif free < 0:
+            free = 0
         n_fixed = 4 - free
-        written_len = p + 1 + free
         if n_fixed:
-            if not image.readable(rel_pos + free, n_fixed):
+            fixed_at = rel_pos + free
+            if fixed_at >= r_base and fixed_at + n_fixed <= r_end:
+                i = fixed_at - r_base
+                fixed = r_data[i : i + n_fixed]
+            elif image.readable(fixed_at, n_fixed):
+                fixed = image.read(fixed_at, n_fixed)
+            else:
                 continue  # fixed bytes fall outside the mapped image
-            fixed = image.read(rel_pos + free, n_fixed)
-            high = int.from_bytes(fixed, "little") << (8 * free)
-            base = _signext32(high)
-            lo = jump_end + base
+            high = from_bytes(fixed, "little") << (8 * free)
+            lo = jump_end + ((high ^ 0x80000000) - 0x80000000)
             hi = lo + (1 << (8 * free))
         else:
             lo = jump_end - (1 << 31)
             hi = jump_end + (1 << 31)
-        windows.append(
-            PunWindow(
-                jump_addr=jump_addr,
-                padding=p,
-                free=free,
-                target_lo=lo,
-                target_hi=hi,
-                written_len=written_len,
-                punned_len=n_fixed,
-            )
-        )
+        append(PunWindow(jump_addr, p, free, lo, hi, p + 1 + free, n_fixed))
     return windows
 
 

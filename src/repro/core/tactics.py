@@ -91,10 +91,10 @@ class Transaction:
 
     def abort(self) -> None:
         for vaddr, locks in reversed(self._puns):
-            self.image.locks_for(vaddr).restore(vaddr, locks)
+            self.image.restore_locks(vaddr, locks)
         for vaddr, old, locks in reversed(self._writes):
             self.image.write_unchecked(vaddr, old)
-            self.image.locks_for(vaddr).restore(vaddr, locks)
+            self.image.restore_locks(vaddr, locks)
         for vaddr, size in reversed(self._allocs):
             self.space.release(vaddr, size)
         del self.image.dirty[self._dirty_mark :]
@@ -104,15 +104,34 @@ class Transaction:
         self.trampolines.clear()
 
 
+#: Shared empty instrumentation for evictee trampolines.  A singleton so
+#: the per-(insn, instrumentation) trampoline-size memo keys stay stable
+#: across the thousands of T2/T3 eviction attempts.
+_EMPTY = Empty()
+
+
 @dataclass
 class TacticContext:
-    """Everything a tactic needs: image, allocator, instruction index."""
+    """Everything a tactic needs: image, allocator, instruction index.
+
+    Also hosts the plan pass's two memos (INTERNALS.md §7):
+
+    * :meth:`pun_windows` — per-site window enumerations, valid only for
+      one :attr:`CodeImage.version` (any byte or lock change invalidates);
+    * :meth:`trampoline_size` — per (instruction, instrumentation) sizes,
+      which are address-independent and never invalidate.
+    """
 
     image: CodeImage
     space: AddressSpace
     instructions: list[Instruction]  # sorted by address (linear stream)
     max_eviction_probes: int = 1
     _addrs: list[int] = field(default_factory=list)
+    _pw_cache: dict = field(default_factory=dict)
+    _pw_version: int = -1
+    pw_hits: int = 0
+    pw_misses: int = 0
+    _ts_cache: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self._addrs = [i.address for i in self.instructions]
@@ -132,6 +151,51 @@ class TacticContext:
             if insn.address <= addr < insn.end:
                 return insn
         return None
+
+    def pun_windows(
+        self,
+        jump_addr: int,
+        writable_end: int,
+        *,
+        min_padding: int = 0,
+        max_padding: int | None = None,
+    ) -> list[PunWindow]:
+        """Memoized :func:`repro.core.puns.pun_windows` over this image.
+
+        The whole memo is dropped whenever :attr:`CodeImage.version`
+        moves: window enumeration depends on lock state and on the fixed
+        rel32 bytes past the writable window, and both change with every
+        write, pun, or rollback.
+        """
+        if self.image.version != self._pw_version:
+            self._pw_cache.clear()
+            self._pw_version = self.image.version
+        key = (jump_addr, writable_end, min_padding, max_padding)
+        hit = self._pw_cache.get(key)
+        if hit is not None:
+            self.pw_hits += 1
+            return hit
+        self.pw_misses += 1
+        out = pun_windows(
+            self.image, jump_addr, writable_end,
+            min_padding=min_padding, max_padding=max_padding,
+        )
+        self._pw_cache[key] = out
+        return out
+
+    def trampoline_size(self, insn: Instruction, instr: Instrumentation) -> int:
+        """Memoized :func:`repro.core.trampoline.trampoline_size`.
+
+        Sizes are address-independent, so entries never invalidate.  The
+        entry pins both objects, keeping the id-based key unambiguous.
+        """
+        key = (id(insn), id(instr))
+        hit = self._ts_cache.get(key)
+        if hit is not None:
+            return hit[2]
+        size = trampoline_size(insn, instr)
+        self._ts_cache[key] = (insn, instr, size)
+        return size
 
 
 def _emit_jump(
@@ -159,15 +223,15 @@ def _try_jump_to_new_trampoline(
     """Try every pun window at *jump_addr*; on success the jump is written
     and the trampoline (for *tramp_insn* with *instr*) is allocated and
     encoded.  Returns the window used, or None."""
-    size = trampoline_size(tramp_insn, instr)
-    for window in pun_windows(
-        ctx.image, jump_addr, writable_end, min_padding=min_padding
+    size = ctx.trampoline_size(tramp_insn, instr)
+    for window in ctx.pun_windows(
+        jump_addr, writable_end, min_padding=min_padding
     ):
         t = tx.allocate(window.target_lo, window.target_hi, size, tag)
         if t is None:
             continue
         try:
-            code = build_trampoline(tramp_insn, instr, t)
+            code = build_trampoline(tramp_insn, instr, t, size)
         except PatchError:
             tx.release_last()
             continue
@@ -192,31 +256,42 @@ def try_direct(
 
     Windows are tried least-constrained first; the tactic label is derived
     from the winning window (free==4 -> B1, padding==0 -> B2, else T1).
+
+    Unlike the multi-step tactics this one needs no :class:`Transaction`:
+    the image is only written on the success path (failed allocation
+    probes are released directly), so there is never anything to roll
+    back — and skipping the undo log (old-byte reads + lock snapshots)
+    keeps the most common tactic on the fast path.
     """
-    tx = Transaction(ctx.image, ctx.space)
-    size = trampoline_size(insn, instr)
+    space = ctx.space
+    image = ctx.image
+    size = ctx.trampoline_size(insn, instr)
     max_padding = None if allow_padding else 0
-    for window in pun_windows(
-        ctx.image, insn.address, insn.end, max_padding=max_padding
+    tag = f"patch@{insn.address:#x}"
+    for window in ctx.pun_windows(
+        insn.address, insn.end, max_padding=max_padding
     ):
-        t = tx.allocate(window.target_lo, window.target_hi, size, f"patch@{insn.address:#x}")
+        t = space.allocate(window.target_lo, window.target_hi, size, tag)
         if t is None:
             continue
         try:
-            code = build_trampoline(insn, instr, t)
+            code = build_trampoline(insn, instr, t, size)
         except PatchError:
-            tx.release_last()
+            space.release(t, size)
             continue
-        _emit_jump(tx, window, t)
-        tx.add_trampoline(Trampoline(vaddr=t, code=code, tag="patch"))
+        image.write(window.jump_addr, window.encode(t))
+        if window.punned_len:
+            image.pun(window.jump_addr + window.written_len, window.punned_len)
         if window.free == 4:
             tactic = Tactic.B1
         elif window.padding == 0:
             tactic = Tactic.B2
         else:
             tactic = Tactic.T1
-        return SitePatch(site=insn.address, tactic=tactic, trampolines=list(tx.trampolines))
-    tx.abort()
+        return SitePatch(
+            site=insn.address, tactic=tactic,
+            trampolines=[Trampoline(vaddr=t, code=code, tag="patch")],
+        )
     return None
 
 
@@ -237,8 +312,8 @@ def try_successor_eviction(
     if not ctx.image.is_writable(succ.address, succ.length):
         return None  # successor already patched/locked
 
-    evictee_size = trampoline_size(succ, Empty())
-    for s_window in pun_windows(ctx.image, succ.address, succ.end):
+    evictee_size = ctx.trampoline_size(succ, _EMPTY)
+    for s_window in ctx.pun_windows(succ.address, succ.end):
         # Probe several trampoline placements inside the window: each
         # placement changes the successor's new byte values, which changes
         # the site's own pun window.
@@ -252,7 +327,8 @@ def try_successor_eviction(
                 tx.abort()
                 break
             try:
-                evict_code = build_trampoline(succ, Empty(), t_evict)
+                evict_code = build_trampoline(succ, _EMPTY, t_evict,
+                                              evictee_size)
             except PatchError:
                 tx.abort()
                 break
@@ -345,7 +421,7 @@ def try_neighbour_eviction(
         # trampoline; its writable window ends at L (J_patch's bytes are
         # now locked and serve as fixed rel32 cells).
         v_window = _try_jump_to_new_trampoline(
-            ctx, tx, victim.address, L, victim, Empty(),
+            ctx, tx, victim.address, L, victim, _EMPTY,
             f"evictee@{victim.address:#x}",
         )
         if v_window is None:

@@ -47,24 +47,28 @@ def relocated_size(insn: Instruction) -> int:
 
 def relocate(insn: Instruction, at_addr: int) -> bytes:
     """Encode *insn* so it behaves identically when placed at *at_addr*."""
-    if insn.flow == Flow.JMP and insn.is_direct_branch:
-        assert insn.target is not None
-        return enc.encode_jmp_rel32(insn.target - (at_addr + 5))
-    if insn.flow == Flow.JCC:
-        assert insn.target is not None
+    # insn.target is spelled out as address + length + imm here: the
+    # property chain (target -> rel -> is_direct_branch) is measurable at
+    # thousands of relocations per rewrite.
+    flow = insn.flow
+    if flow is Flow.JMP and insn.imm is not None:
+        target = insn.address + insn.length + insn.imm
+        return enc.encode_jmp_rel32(target - (at_addr + 5))
+    if flow is Flow.JCC:
+        target = insn.address + insn.length + insn.imm
         cc = insn.opcode & 0x0F
-        return enc.encode_jcc_rel32(cc, insn.target - (at_addr + 6))
-    if insn.flow == Flow.CALL and insn.is_direct_branch:
-        assert insn.target is not None
-        return enc.encode_call_rel32(insn.target - (at_addr + 5))
-    if insn.flow == Flow.LOOP:
+        return enc.encode_jcc_rel32(cc, target - (at_addr + 6))
+    if flow is Flow.CALL and insn.imm is not None:
+        target = insn.address + insn.length + insn.imm
+        return enc.encode_call_rel32(target - (at_addr + 5))
+    if flow is Flow.LOOP:
         # loopcc/jrcxz only exist with rel8; expand to the standard
         # branch-out pattern:  loopcc +2; jmp +5; jmp target
-        assert insn.target is not None
+        target = insn.address + insn.length + insn.imm
         out = bytearray()
         out += bytes((insn.opcode, 0x02))  # taken -> out[4]
         out += enc.encode_jmp_rel8(5)  # not taken -> fall through at out[9]
-        out += enc.encode_jmp_rel32(insn.target - (at_addr + 9))
+        out += enc.encode_jmp_rel32(target - (at_addr + 9))
         return bytes(out)
     if insn.rip_relative:
         orig_target = insn.end + (insn.disp or 0)
@@ -190,8 +194,14 @@ def _no_return(insn: Instruction) -> bool:
 
 
 def build_trampoline(insn: Instruction, instr: Instrumentation,
-                     tramp_addr: int) -> bytes:
-    """Emit the trampoline body for *insn* at *tramp_addr*."""
+                     tramp_addr: int, expected: int | None = None) -> bytes:
+    """Emit the trampoline body for *insn* at *tramp_addr*.
+
+    *expected* is the size the caller allocated (normally the memoized
+    :func:`trampoline_size`); passing it skips re-probing the
+    instrumentation body while still failing loudly if the encoding does
+    not fit the allocation.
+    """
     asm = enc.Assembler(base=tramp_addr)
     instr.emit(asm, insn)
     body = asm.bytes()
@@ -200,7 +210,8 @@ def build_trampoline(insn: Instruction, instr: Instrumentation,
     if not _no_return(insn):
         back = insn.end - (tramp_addr + len(out) + JMP_BACK_SIZE)
         out += enc.encode_jmp_rel32(back)
-    expected = trampoline_size(insn, instr)
+    if expected is None:
+        expected = trampoline_size(insn, instr)
     if len(out) != expected:
         raise PatchError(
             f"trampoline size mismatch: {len(out)} != predicted {expected}"

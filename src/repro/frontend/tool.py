@@ -30,7 +30,7 @@ from dataclasses import dataclass, replace
 
 from repro.core.cache import ArtifactCache
 from repro.core.grouping import DEFAULT_MAX_MAP_COUNT
-from repro.core.observe import Observer, stderr_trace_hook
+from repro.core.observe import Observer, derive_throughput, stderr_trace_hook
 from repro.core.parallel import BatchExecutor, is_picklable
 from repro.core.pipeline import DecodePass, MatchPass, RewriteContext
 from repro.core.rewriter import RewriteOptions, RewriteResult, Rewriter
@@ -85,6 +85,8 @@ class InstrumentReport:
             "failures": self.result.plan.failures,
             "timings": {k: round(v, 6) for k, v in self.result.timings.items()},
             "counters": self.result.counters,
+            "throughput": derive_throughput(self.result.timings,
+                                            self.result.counters),
         }
 
 
@@ -331,12 +333,17 @@ def rewrite_many(
     out one (binary, config) task per worker process; outputs and stats
     are byte-identical to the serial path, results come back in config
     order, and worker observers are merged into the shared one.  An
-    unpicklable matcher/instrumentation quietly degrades to serial.
+    unpicklable matcher/instrumentation quietly degrades to serial, as
+    does any batch whose effective concurrency is 1 (e.g. a one-CPU
+    host, where forking workers would only forfeit the shared decode).
     """
     norm = [cfg if isinstance(cfg, RewriteConfig) else RewriteConfig(options=cfg)
             for cfg in configs]
     executor = BatchExecutor(jobs)
-    if (executor.jobs > 1 and len(norm) > 1
+    # would_parallelize folds in the CPU count: on a one-CPU host the
+    # pool cannot beat the serial path (which shares a single decode),
+    # so the batch never pays the fork/pickle overhead.
+    if (executor.would_parallelize(len(norm))
             and isinstance(source, (bytes, bytearray))):
         reports = _rewrite_parallel(
             executor, bytes(source), norm,
@@ -503,6 +510,12 @@ def main(argv: list[str] | None = None) -> int:
         "stderr while rewriting",
     )
     parser.add_argument(
+        "--profile", nargs="?", const=15, type=int, default=None,
+        metavar="N",
+        help="run under cProfile and print the top N functions by "
+        "cumulative time to stderr (default N: 15)",
+    )
+    parser.add_argument(
         "--verify", action="store_true",
         help="run the verification pass: re-decode every patched site "
         "and check its jump target",
@@ -610,13 +623,25 @@ def main(argv: list[str] | None = None) -> int:
         observer.add_hook(stderr_trace_hook)
     cache = ArtifactCache(args.cache_dir) if args.cache else None
 
-    report = rewrite_many(
-        data,
-        [RewriteConfig(matcher=matcher, instrumentation=instrumentation,
-                       options=options)],
-        frontend=args.frontend, observer=observer,
-        jobs=args.jobs, cache=cache,
-    )[0]
+    def run() -> InstrumentReport:
+        return rewrite_many(
+            data,
+            [RewriteConfig(matcher=matcher, instrumentation=instrumentation,
+                           options=options)],
+            frontend=args.frontend, observer=observer,
+            jobs=args.jobs, cache=cache,
+        )[0]
+
+    if args.profile is not None:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        report = profiler.runcall(run)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(max(1, args.profile))
+    else:
+        report = run()
     if report.counter_vaddr is not None and not args.json:
         print(f"counter at {report.counter_vaddr:#x}")
     if args.stats_json:

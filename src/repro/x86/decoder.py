@@ -4,6 +4,21 @@ Implements the Intel encoding grammar for 64-bit mode: legacy prefixes,
 REX, VEX (C4/C5), EVEX (62), the one/two/three-byte opcode maps, ModRM,
 SIB, displacement, and immediates.  Lengths are exact; the test suite
 validates against ``objdump`` on compiler output.
+
+Two implementations live here:
+
+* :func:`decode` — the fast path.  A single-pass loop over a precomputed
+  256-entry first-byte dispatch table (``_FIRST``: opcode / legacy
+  prefix / REX / VEX-escape) with per-opcode spec tuples (``_D1`` /
+  ``_D2``) that pre-resolve mnemonic-group tables and group-write sets,
+  so the hot loop performs no dict lookups, no cursor-object method
+  calls, and no byte slicing (``Instruction.raw`` stays a lazy view).
+* :func:`decode_reference` — the original cursor-based implementation,
+  retained verbatim as the oracle for the differential test suite and
+  the bench byte-identity check.
+
+Both raise :class:`DecodeError` with identical messages for identical
+inputs; ``tests/x86/test_decoder_differential.py`` enforces this.
 """
 
 from __future__ import annotations
@@ -33,6 +48,301 @@ def _signed(value: int, size: int) -> int:
     """Interpret *size* little-endian bytes as a signed integer."""
     bit = 1 << (size * 8 - 1)
     return (value ^ bit) - bit
+
+
+# ---------------------------------------------------------------------------
+# Fast-path dispatch tables.
+# ---------------------------------------------------------------------------
+# First-byte classification: what role a byte plays at the start of an
+# instruction (after any bytes already consumed).
+_OPC, _PFX, _REX, _VEX = 0, 1, 2, 3
+
+_FIRST = bytearray(256)
+for _b in pfx.LEGACY_PREFIXES:
+    _FIRST[_b] = _PFX
+for _b in range(0x40, 0x50):
+    _FIRST[_b] = _REX
+for _b in (0xC4, 0xC5, 0x62):
+    _FIRST[_b] = _VEX
+
+# ModRM-group mnemonics resolved by modrm.reg; grp4 pads the historical
+# "reg < 2 else (bad)" rule out to a full 8-entry table.
+_GROUP_NAMES: dict[str, tuple[str, ...]] = {
+    "grp1": _GRP1_NAMES,
+    "grp2": _GRP2_NAMES,
+    "grp3": _GRP3_NAMES,
+    "grp4": ("inc", "dec", "(bad)", "(bad)", "(bad)", "(bad)", "(bad)", "(bad)"),
+    "grp5": _GRP5_NAMES,
+}
+
+
+def _entry(spec: OpSpec, key: int):
+    """Flatten an OpSpec into the fast path's per-opcode tuple:
+    (mnemonic, has_modrm, imm_code, flow, flags, group_write_regs, group_names).
+    """
+    gw = None
+    if spec.flags & F_GROUP_WRITE:
+        gw = tables.GROUP_WRITES.get(key, frozenset())
+    return (
+        spec.mnemonic,
+        spec.modrm,
+        spec.imm.value,
+        spec.flow,
+        spec.flags,
+        gw,
+        _GROUP_NAMES.get(spec.mnemonic),
+    )
+
+
+# One-byte map: None marks bytes with no opcode meaning (prefixes, VEX
+# escapes, 0F) — reaching one of those in the opcode slot is an error.
+_D1: list[tuple | None] = [None] * 256
+for _op, _spec in tables.ONE_BYTE.items():
+    _D1[_op] = _entry(_spec, _op)
+
+# Two-byte (0F) map: dense, thanks to the table's default spec.
+_D2 = [_entry(tables.two_byte_spec(_op), 0x0F00 | _op) for _op in range(256)]
+
+_E38 = _entry(tables.THREE_BYTE_38_DEFAULT, 0)
+_E38_STORE = _entry(
+    OpSpec(tables.THREE_BYTE_38_DEFAULT.mnemonic, modrm=True, flags=F_WRITES_RM), 0
+)
+_E3A = _entry(tables.THREE_BYTE_3A_DEFAULT, 0)
+_E3A_STORE = _entry(
+    OpSpec(tables.THREE_BYTE_3A_DEFAULT.mnemonic, modrm=True, imm=Imm.IB,
+           flags=F_WRITES_RM), 0
+)
+_38_STORES = tables.THREE_BYTE_38_STORES
+_3A_STORES = tables.THREE_BYTE_3A_STORES
+
+# Imm enum values, inlined as ints for the hot loop's compares.
+_IMM_IB, _IMM_IW, _IMM_IZ, _IMM_IV = 1, 2, 3, 4
+_IMM_IW_IB, _IMM_REL8, _IMM_REL32, _IMM_MOFFS, _IMM_GROUP3 = 5, 6, 7, 8, 9
+
+
+def decode(data: bytes, offset: int = 0, address: int | None = None) -> Instruction:
+    """Decode one instruction from *data* at *offset* (fast path).
+
+    *address* is the virtual address of the instruction (defaults to
+    *offset*), used for branch-target computation and display.
+
+    Raises :class:`DecodeError` for invalid or truncated encodings.
+    """
+    n = len(data)
+    if offset >= n:
+        raise DecodeError("offset beyond end of buffer", offset=offset)
+    limit = offset + MAX_INSN_LEN
+    if limit > n:
+        limit = n
+
+    pos = offset
+    first = _FIRST
+
+    # --- legacy prefixes ---------------------------------------------------
+    opsize16 = addrsize32 = rep = False
+    npfx = 0
+    while True:
+        if pos >= limit:
+            raise DecodeError("truncated instruction", offset=offset)
+        b = data[pos]
+        cls = first[b]
+        if cls != _PFX:
+            break
+        pos += 1
+        npfx += 1
+        if npfx > 14:
+            raise DecodeError("prefix run exceeds instruction limit", offset=offset)
+        if b == 0x66:
+            opsize16 = True
+        elif b == 0x67:
+            addrsize32 = True
+        elif b == 0xF3:
+            rep = True
+    legacy = bytes(data[offset:pos]) if npfx else b""
+
+    # --- REX / VEX / EVEX --------------------------------------------------
+    rex = None
+    if cls == _REX:
+        rex = b
+        pos += 1
+        if pos >= limit:
+            raise DecodeError("truncated instruction", offset=offset)
+        b = data[pos]
+    elif cls == _VEX:
+        # Cold path: delegate to the shared VEX/EVEX decoder.
+        cur = _Cursor(data, offset)
+        cur.pos = pos
+        insn = Instruction(
+            raw=b"", mnemonic="", address=offset if address is None else address
+        )
+        insn.legacy_prefixes = legacy
+        return _decode_vex(cur, insn, opsize16, offset, data)
+
+    # --- opcode ------------------------------------------------------------
+    pos += 1
+    opmap = 0
+    opcode = b
+    if b != 0x0F:
+        entry = _D1[b]
+        if entry is None:
+            raise DecodeError(f"unknown opcode {opcode:#04x}", offset=offset)
+    else:
+        if pos >= limit:
+            raise DecodeError("truncated instruction", offset=offset)
+        opcode = data[pos]
+        pos += 1
+        opmap = 1
+        if opcode == 0x38:
+            if pos >= limit:
+                raise DecodeError("truncated instruction", offset=offset)
+            opcode = data[pos]
+            pos += 1
+            opmap = 2
+            entry = _E38_STORE if opcode in _38_STORES else _E38
+        elif opcode == 0x3A:
+            if pos >= limit:
+                raise DecodeError("truncated instruction", offset=offset)
+            opcode = data[pos]
+            pos += 1
+            opmap = 3
+            entry = _E3A_STORE if opcode in _3A_STORES else _E3A
+        else:
+            entry = _D2[opcode]
+
+    mnemonic, has_modrm, ic, flow, flags, gw, names = entry
+    if flags & F_INVALID64:
+        raise DecodeError(f"opcode {opcode:#04x} invalid in 64-bit mode",
+                          offset=offset)
+    opcode_offset = pos - offset - 1
+
+    # --- ModRM / SIB / displacement ----------------------------------------
+    modrm = sib = disp = None
+    disp_offset = disp_size = 0
+    if has_modrm:
+        if pos >= limit:
+            raise DecodeError("truncated instruction", offset=offset)
+        modrm = data[pos]
+        pos += 1
+        mod = modrm >> 6
+        if mod != 3:
+            rm = modrm & 7
+            if rm == 4:
+                if pos >= limit:
+                    raise DecodeError("truncated instruction", offset=offset)
+                sib = data[pos]
+                pos += 1
+                if mod == 0:
+                    if (sib & 7) == 5:
+                        disp_size = 4
+                else:
+                    disp_size = 1 if mod == 1 else 4
+            elif mod == 0:
+                if rm == 5:
+                    disp_size = 4  # rip-relative (eip-relative with 0x67)
+            else:
+                disp_size = 1 if mod == 1 else 4
+            if disp_size:
+                disp_offset = pos - offset
+                end = pos + disp_size
+                if end > limit:
+                    raise DecodeError("truncated instruction", offset=offset)
+                v = int.from_bytes(data[pos:end], "little")
+                pos = end
+                bit = 1 << (disp_size * 8 - 1)
+                disp = (v ^ bit) - bit
+
+    # --- immediate ---------------------------------------------------------
+    imm = None
+    imm_offset = imm_size = 0
+    if ic:
+        if ic == _IMM_IB or ic == _IMM_REL8:
+            ilen = 1
+        elif ic == _IMM_IZ or ic == _IMM_REL32:
+            ilen = 2 if opsize16 else 4
+        elif ic == _IMM_IV:
+            if rex is not None and rex & 0x08:
+                ilen = 8
+            else:
+                ilen = 2 if opsize16 else 4
+        elif ic == _IMM_GROUP3:
+            if ((modrm >> 3) & 7) < 2:  # test r/m, imm
+                if opcode == 0xF6:
+                    ilen = 1
+                else:
+                    ilen = 2 if opsize16 else 4
+            else:
+                ilen = 0
+        elif ic == _IMM_IW:
+            ilen = 2
+        elif ic == _IMM_IW_IB:
+            ilen = 3
+        else:  # MOFFS
+            ilen = 4 if addrsize32 else 8
+        if ilen:
+            imm_offset = pos - offset
+            imm_size = ilen
+            end = pos + ilen
+            if end > limit:
+                raise DecodeError("truncated instruction", offset=offset)
+            v = int.from_bytes(data[pos:end], "little")
+            pos = end
+            if ic == _IMM_REL8 or ic == _IMM_REL32:
+                bit = 1 << (ilen * 8 - 1)
+                v = (v ^ bit) - bit
+            imm = v
+
+    # --- semantics ---------------------------------------------------------
+    if names is not None:
+        mnemonic = names[(modrm >> 3) & 7]
+    if rep:
+        if opmap == 0:
+            if opcode == 0x90 and mnemonic == "nop":
+                mnemonic = "pause"
+        elif opmap == 1 and opcode == 0xB8:
+            mnemonic = "popcnt"
+
+    if flags & F_WRITES_RM:
+        writes_rm = True
+    elif gw is not None:
+        writes_rm = ((modrm >> 3) & 7) in gw
+    else:
+        writes_rm = False
+
+    insn = Instruction.__new__(Instruction)
+    insn._raw = None
+    insn._data = data
+    insn._start = offset
+    insn._len = pos - offset
+    insn.mnemonic = mnemonic
+    insn.address = offset if address is None else address
+    insn.legacy_prefixes = legacy
+    insn.rex = rex
+    insn.vex = None
+    insn.opmap = opmap
+    insn.opcode = opcode
+    insn.opcode_offset = opcode_offset
+    insn.modrm = modrm
+    insn.sib = sib
+    insn.disp = disp
+    insn.disp_offset = disp_offset
+    insn.disp_size = disp_size
+    insn.imm = imm
+    insn.imm_offset = imm_offset
+    insn.imm_size = imm_size
+    insn.flow = flow
+    insn.writes_rm = writes_rm
+    insn.string_write = (flags & F_STRING_WRITE) != 0
+    if type(data) is not bytes:
+        # Mutable buffers (bytearray/memoryview) could change under a
+        # lazy view; materialize now.
+        insn._raw = bytes(data[offset:pos])
+        insn._data = None
+    return insn
+
+
+# ---------------------------------------------------------------------------
+# Reference implementation (differential-test oracle).
+# ---------------------------------------------------------------------------
 
 
 class _Cursor:
@@ -149,13 +459,13 @@ def _refine_mnemonic(spec: OpSpec, opcode: int, reg: int | None) -> str:
     return name
 
 
-def decode(data: bytes, offset: int = 0, address: int | None = None) -> Instruction:
-    """Decode one instruction from *data* at *offset*.
+def decode_reference(data: bytes, offset: int = 0,
+                     address: int | None = None) -> Instruction:
+    """Decode one instruction (reference implementation).
 
-    *address* is the virtual address of the instruction (defaults to
-    *offset*), used for branch-target computation and display.
-
-    Raises :class:`DecodeError` for invalid or truncated encodings.
+    Byte-for-byte and field-for-field equivalent to :func:`decode`; kept
+    as the slow, obviously-correct oracle the differential tests compare
+    the fast path against.
     """
     if offset >= len(data):
         raise DecodeError("offset beyond end of buffer", offset=offset)
@@ -175,7 +485,6 @@ def decode(data: bytes, offset: int = 0, address: int | None = None) -> Instruct
     opsize16 = pfx.OPSIZE in legacy
     addrsize32 = pfx.ADDRSIZE in legacy
     rep = pfx.REP in legacy
-    repne = pfx.REPNE in legacy
 
     insn = Instruction(raw=b"", mnemonic="", address=offset if address is None else address)
     insn.legacy_prefixes = bytes(legacy)
@@ -312,14 +621,22 @@ def _decode_vex(cur: _Cursor, insn: Instruction, opsize16: bool,
     return insn
 
 
+# ---------------------------------------------------------------------------
+# Bulk decoding.
+# ---------------------------------------------------------------------------
+
+
 def decode_all(data: bytes, address: int = 0) -> DecodedRegion:
     """Linearly decode an entire buffer, raising on any invalid byte."""
     region = DecodedRegion(address=address, data=data)
+    append = region.instructions.append
+    _decode = decode
     off = 0
-    while off < len(data):
-        insn = decode(data, off, address=address + off)
-        region.instructions.append(insn)
-        off += insn.length
+    n = len(data)
+    while off < n:
+        insn = _decode(data, off, address + off)
+        append(insn)
+        off += insn._len
     return region
 
 
@@ -331,14 +648,17 @@ def decode_buffer(data: bytes, address: int = 0) -> list[Instruction]:
     linear-sweep frontend over sections that mix code and data.
     """
     out: list[Instruction] = []
+    append = out.append
+    _decode = decode
     off = 0
-    while off < len(data):
+    n = len(data)
+    while off < n:
         try:
-            insn = decode(data, off, address=address + off)
+            insn = _decode(data, off, address + off)
         except DecodeError:
             insn = Instruction(
                 raw=data[off : off + 1], mnemonic="(bad)", address=address + off
             )
-        out.append(insn)
-        off += insn.length
+        append(insn)
+        off += insn._len
     return out

@@ -5,6 +5,12 @@ ModRM/SIB, displacement, immediate) plus the semantic facts the binary
 rewriter needs.  It deliberately does *not* model full operand semantics;
 the rewriter (like E9Patch itself) cares about lengths, byte values,
 control flow and memory-write classification.
+
+``Instruction`` is a ``__slots__`` class rather than a dataclass: the
+decoder creates one per instruction over multi-megabyte code sections,
+so attribute storage must be flat and ``raw`` is a *lazy view* — the
+underlying buffer plus ``(start, length)`` — materialized into a
+``bytes`` object only when first read.
 """
 
 from __future__ import annotations
@@ -36,8 +42,16 @@ REG_NAMES_64 = (
     "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
 )
 
+#: Public fields, in the order of the historical dataclass definition
+#: (pickling, equality, and ``__repr__`` all use this order).
+_FIELDS = (
+    "raw", "mnemonic", "address", "legacy_prefixes", "rex", "vex",
+    "opmap", "opcode", "opcode_offset", "modrm", "sib", "disp",
+    "disp_offset", "disp_size", "imm", "imm_offset", "imm_size",
+    "flow", "writes_rm", "string_write",
+)
 
-@dataclass
+
 class Instruction:
     """One decoded x86-64 instruction.
 
@@ -46,40 +60,89 @@ class Instruction:
     address individual fields of ``raw``.
     """
 
-    raw: bytes
-    mnemonic: str
-    address: int = 0
+    __slots__ = (
+        "_raw", "_data", "_start", "_len",
+        "mnemonic", "address", "legacy_prefixes", "rex", "vex",
+        "opmap", "opcode", "opcode_offset", "modrm", "sib", "disp",
+        "disp_offset", "disp_size", "imm", "imm_offset", "imm_size",
+        "flow", "writes_rm", "string_write",
+    )
 
-    legacy_prefixes: bytes = b""
-    rex: int | None = None
-    vex: bytes | None = None  # full VEX/EVEX prefix incl. leading byte
-    opmap: int = 0  # 0 = one-byte map, 1 = 0F, 2 = 0F38, 3 = 0F3A
-    opcode: int = 0
-    opcode_offset: int = 0
+    def __init__(
+        self,
+        raw: bytes = b"",
+        mnemonic: str = "",
+        address: int = 0,
+        legacy_prefixes: bytes = b"",
+        rex: int | None = None,
+        vex: bytes | None = None,  # full VEX/EVEX prefix incl. leading byte
+        opmap: int = 0,  # 0 = one-byte map, 1 = 0F, 2 = 0F38, 3 = 0F3A
+        opcode: int = 0,
+        opcode_offset: int = 0,
+        modrm: int | None = None,
+        sib: int | None = None,
+        disp: int | None = None,
+        disp_offset: int = 0,
+        disp_size: int = 0,
+        imm: int | None = None,
+        imm_offset: int = 0,
+        imm_size: int = 0,
+        flow: Flow = Flow.NONE,
+        writes_rm: bool = False,  # writes its ModRM r/m operand
+        string_write: bool = False,  # implicit store through %rdi / moffs
+    ) -> None:
+        self._raw = raw
+        self._data = None
+        self._start = 0
+        self._len = len(raw)
+        self.mnemonic = mnemonic
+        self.address = address
+        self.legacy_prefixes = legacy_prefixes
+        self.rex = rex
+        self.vex = vex
+        self.opmap = opmap
+        self.opcode = opcode
+        self.opcode_offset = opcode_offset
+        self.modrm = modrm
+        self.sib = sib
+        self.disp = disp
+        self.disp_offset = disp_offset
+        self.disp_size = disp_size
+        self.imm = imm
+        self.imm_offset = imm_offset
+        self.imm_size = imm_size
+        self.flow = flow
+        self.writes_rm = writes_rm
+        self.string_write = string_write
 
-    modrm: int | None = None
-    sib: int | None = None
-    disp: int | None = None
-    disp_offset: int = 0
-    disp_size: int = 0
-    imm: int | None = None
-    imm_offset: int = 0
-    imm_size: int = 0
+    # -- lazy raw bytes ----------------------------------------------------
 
-    flow: Flow = Flow.NONE
-    writes_rm: bool = False  # writes its ModRM r/m operand
-    string_write: bool = False  # implicit store through %rdi / moffs
+    @property
+    def raw(self) -> bytes:
+        """The instruction's exact bytes (materialized on first access)."""
+        r = self._raw
+        if r is None:
+            start = self._start
+            r = self._raw = bytes(self._data[start : start + self._len])
+            self._data = None
+        return r
+
+    @raw.setter
+    def raw(self, value: bytes) -> None:
+        self._raw = value
+        self._data = None
+        self._len = len(value)
 
     # -- layout ------------------------------------------------------------
 
     @property
     def length(self) -> int:
-        return len(self.raw)
+        return self._len
 
     @property
     def end(self) -> int:
         """Address of the next instruction."""
-        return self.address + len(self.raw)
+        return self.address + self._len
 
     # -- ModRM helpers -----------------------------------------------------
 
@@ -191,6 +254,39 @@ class Instruction:
             return None
         return self.end + self.rel
 
+    # -- value semantics ----------------------------------------------------
+
+    def _astuple(self) -> tuple:
+        return tuple(getattr(self, name) for name in _FIELDS)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Instruction:
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    __hash__ = None  # mutable, like the historical dataclass
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{n}={getattr(self, n)!r}" for n in _FIELDS)
+        return f"Instruction({body})"
+
+    # -- pickling (materialize the lazy view; never ship the buffer) --------
+
+    def __getstate__(self) -> tuple:
+        return self._astuple()
+
+    def __setstate__(self, state: tuple) -> None:
+        raw, rest = state[0], state[1:]
+        self._raw = raw
+        self._data = None
+        self._start = 0
+        self._len = len(raw)
+        for name, value in zip(_FIELDS[1:], rest):
+            setattr(self, name, value)
+
+    def __reduce__(self) -> tuple:
+        return (_unpickle_insn, (self._astuple(),))
+
     # -- rendering -----------------------------------------------------------
 
     def __str__(self) -> str:
@@ -199,6 +295,12 @@ class Instruction:
         hexbytes = " ".join(f"{b:02x}" for b in self.raw)
         loc = f"{self.address:#x}: " if self.address else ""
         return f"{loc}{hexbytes:<30} {format_insn(self)}"
+
+
+def _unpickle_insn(state: tuple) -> Instruction:
+    insn = Instruction.__new__(Instruction)
+    insn.__setstate__(state)
+    return insn
 
 
 @dataclass

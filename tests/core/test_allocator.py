@@ -68,3 +68,100 @@ class TestForBinary:
         space = AddressSpace.for_binary(self.SEGMENTS, guard=0x10000)
         assert space.allocate(0x3F8000, 0x400000, 16) is None
         assert space.allocate(0x414000, 0x500000, 16) == 0x414000
+
+
+class TestGapHints:
+    """The per-window search cursor must never change allocation results,
+    only the number of free-list spans examined."""
+
+    def test_repeated_window_allocs_skip_exhausted_spans(self):
+        space = AddressSpace(lo_bound=0, hi_bound=0x100000)
+        # Fragment the low space into many tiny free slivers.
+        for i in range(64):
+            space.reserve(i * 32, i * 32 + 24)
+        before = space.free.visits
+        first = space.allocate(0, 0x100000, 64)
+        cold = space.free.visits - before
+        results = [first]
+        before = space.free.visits
+        for _ in range(20):
+            results.append(space.allocate(0, 0x100000, 64))
+        warm = (space.free.visits - before) / 20
+        assert all(t is not None for t in results)
+        # Warm searches start at the cursor instead of rescanning the
+        # 64 exhausted slivers the cold search walked.
+        assert cold > 32
+        assert warm < cold / 8
+
+    def test_hint_never_changes_results(self):
+        import random
+
+        rng = random.Random(1234)
+        hinted = AddressSpace(lo_bound=0, hi_bound=0x40000)
+        plain = AddressSpace(lo_bound=0, hi_bound=0x40000)
+        plain._gap_hints = None  # force the unhinted path to explode if used
+        live = []
+        for step in range(400):
+            if live and rng.random() < 0.4:
+                vaddr, size = live.pop(rng.randrange(len(live)))
+                hinted.release(vaddr, size)
+                plain.free.add(vaddr, vaddr + size)
+            else:
+                lo = rng.randrange(0, 0x40000, 16)
+                size = rng.choice((8, 24, 64, 200))
+                a = hinted.allocate(lo, lo + 0x2000, size)
+                b = plain.free.find_gap(lo, lo + 0x2000, size)
+                assert a == b, f"divergence at step {step}: {a} != {b}"
+                if a is not None:
+                    plain.free.remove(a, a + size)
+                    live.append((a, size))
+
+    def test_release_invalidates_cursor_below_merge(self):
+        space = AddressSpace(lo_bound=0, hi_bound=0x10000)
+        # Exhaust the low space, recording a high cursor for window 0.
+        blocks = [space.allocate(0, 0x10000, 0x100) for _ in range(8)]
+        assert space._gap_hints[0][0] >= 0x700
+        # Freeing the lowest block must drop the stale cursor so the
+        # next same-window search finds the recycled space.
+        space.release(blocks[0], 0x100)
+        assert space.allocate(0, 0x10000, 0x100) == blocks[0]
+
+
+class TestInvariants:
+    def test_debug_invariants_pass_through_churn(self):
+        import random
+
+        rng = random.Random(99)
+        space = AddressSpace(lo_bound=0, hi_bound=0x100000,
+                             debug_invariants=True)
+        live = []
+        for _ in range(300):
+            if live and rng.random() < 0.45:
+                vaddr, size = live.pop(rng.randrange(len(live)))
+                space.release(vaddr, size)
+            else:
+                lo = rng.randrange(0, 0x100000, 64)
+                size = rng.choice((16, 100, 4096, 5000))
+                t = space.allocate(lo, lo + 0x4000, size)
+                if t is not None:
+                    live.append((t, size))
+        for vaddr, size in live:
+            space.release(vaddr, size)
+        assert space.used_bytes() == 0
+        assert not space._page_refs
+
+    def test_env_var_enables_invariants(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEBUG_ALLOC", "1")
+        assert AddressSpace(lo_bound=0, hi_bound=0x1000).debug_invariants
+
+    def test_release_clears_page_hints(self):
+        space = AddressSpace(lo_bound=0, hi_bound=0x100000, pack_pages=True,
+                             debug_invariants=True)
+        a = space.allocate(0, 0x100000, 100)
+        b = space.allocate(0, 0x100000, 100)
+        space.release(a, 100)
+        # Page still hinted: b lives on it.
+        assert space._page_refs
+        space.release(b, 100)
+        assert not space._page_refs
+        assert not space._used_pages

@@ -152,3 +152,44 @@ class TestProperties:
         if s.find_gap(window_lo, window_hi, size) is None:
             for t in range(window_lo, window_hi):
                 assert not s.contains(t, t + size)
+
+    @given(interval_ops(), st.integers(1, 50))
+    def test_find_gap_is_first_fit(self, ops, size):
+        """find_gap returns the *lowest* viable start in the window."""
+        s = IntervalSet()
+        for op, lo, hi in ops:
+            (s.add if op == "add" else s.remove)(lo, hi)
+        t = s.find_gap(0, 500, size)
+        naive = next((x for x in range(0, 500) if s.contains(x, x + size)),
+                     None)
+        assert t == naive
+
+    @given(interval_ops(), st.integers(-10, 510))
+    def test_span_at_matches_reference(self, ops, point):
+        s = IntervalSet()
+        for op, lo, hi in ops:
+            (s.add if op == "add" else s.remove)(lo, hi)
+        expected = next(
+            ((lo, hi) for lo, hi in s if lo <= point < hi), None)
+        assert s.span_at(point) == expected
+
+
+class TestVisitsCounter:
+    def test_counts_spans_examined(self):
+        s = IntervalSet([(0, 5), (10, 15), (20, 25), (30, 100)])
+        before = s.visits
+        assert s.find_gap(0, 200, 50) == 30
+        # First-fit walked all four spans to find the large gap.
+        assert s.visits - before == 4
+
+    def test_successful_first_span_is_one_visit(self):
+        s = IntervalSet([(0, 100), (200, 300)])
+        before = s.visits
+        assert s.find_gap(0, 50, 10) == 0
+        assert s.visits - before == 1
+
+    def test_miss_still_counts(self):
+        s = IntervalSet([(0, 5)])
+        before = s.visits
+        assert s.find_gap(0, 100, 50) is None
+        assert s.visits - before == 1

@@ -68,28 +68,57 @@ class TestSerialFallback:
         assert ex.last.fallback_reason == "single work item"
 
     def test_unpicklable_function(self):
-        ex = BatchExecutor(jobs=4)
+        ex = BatchExecutor(jobs=4, cpu_count=4)
         assert ex.map(lambda x: x + 1, [1, 2]) == [2, 3]
         assert not ex.last.parallel
         assert "not picklable" in ex.last.fallback_reason
 
     def test_unpicklable_item(self):
-        ex = BatchExecutor(jobs=4)
+        ex = BatchExecutor(jobs=4, cpu_count=4)
         items = [1, lambda: None, 3]
         assert ex.map(is_picklable, items) == [True, False, True]
         assert not ex.last.parallel
         assert ex.last.fallback_reason == "work item 1 not picklable"
 
+    def test_one_cpu_host_runs_serially(self):
+        # A pool on a single CPU cannot run two workers concurrently, so
+        # it is pure fork/pickle overhead: the executor must auto-serial.
+        ex = BatchExecutor(jobs=4, cpu_count=1)
+        assert ex.map(square, [1, 2, 3]) == [1, 4, 9]
+        assert not ex.last.parallel
+        assert ex.last.fallback_reason == "effective workers <= 1 (cpus=1)"
+
     def test_pool_failure_degrades_to_serial(self):
-        ex = BatchExecutor(jobs=2, start_method="no-such-start-method")
+        ex = BatchExecutor(jobs=2, cpu_count=4,
+                           start_method="no-such-start-method")
         assert ex.map(square, [1, 2, 3]) == [1, 4, 9]
         assert not ex.last.parallel
         assert "pool failure" in ex.last.fallback_reason
 
 
+class TestEffectiveWorkers:
+    """The auto-serial heuristic: workers = min(jobs, cpus, items)."""
+
+    def test_clamped_by_each_bound(self):
+        ex = BatchExecutor(jobs=4, cpu_count=2)
+        assert ex.effective_workers(8) == 2   # CPU-bound
+        assert ex.effective_workers(1) == 1   # item-bound
+        assert BatchExecutor(jobs=3, cpu_count=8).effective_workers(9) == 3
+
+    def test_would_parallelize(self):
+        assert BatchExecutor(jobs=4, cpu_count=4).would_parallelize(2)
+        assert not BatchExecutor(jobs=4, cpu_count=1).would_parallelize(8)
+        assert not BatchExecutor(jobs=1, cpu_count=8).would_parallelize(8)
+        assert not BatchExecutor(jobs=4, cpu_count=4).would_parallelize(1)
+
+    def test_default_cpu_count_is_host(self):
+        assert BatchExecutor(jobs=2).cpu_count == (os.cpu_count() or 1)
+
+
 class TestParallel:
     def test_results_in_input_order(self):
-        ex = BatchExecutor(jobs=2)
+        # cpu_count pinned so the pool path is exercised on 1-CPU hosts.
+        ex = BatchExecutor(jobs=2, cpu_count=4)
         items = list(range(16))
         assert ex.map(square, items) == [x * x for x in items]
         assert ex.last.parallel
@@ -99,7 +128,8 @@ class TestParallel:
     def test_matches_serial_results(self):
         items = [("a", b"\x01\x02"), ("b", b"\xff" * 10), ("c", b"")]
         serial = BatchExecutor(jobs=1).map(sum_bytes, list(items))
-        parallel = BatchExecutor(jobs=2).map(sum_bytes, list(items))
+        parallel = BatchExecutor(jobs=2, cpu_count=4).map(sum_bytes,
+                                                          list(items))
         assert serial == parallel
 
 

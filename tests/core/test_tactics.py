@@ -254,3 +254,48 @@ class TestTransaction:
         assert try_successor_eviction(ctx, site(ctx), Empty()) is None
         assert not ctx.space.allocations
         assert ctx.image.read(BASE, 7) == code[:7]
+
+
+class TestAbortHeavyChurn:
+    """Regression: rollback-heavy planning must leave the allocator and
+    image consistent (stale ``release`` state once survived aborts)."""
+
+    def test_repeated_failed_evictions_keep_invariants(self):
+        # Constrained space: T2/T3 allocate, probe, and abort repeatedly.
+        code = (bytes.fromhex("488903") + bytes.fromhex("4883c0f0")) * 6
+        ctx = make_ctx(code, lo=0x10000, hi=0x10100)
+        ctx.space.debug_invariants = True
+        for insn in list(ctx.instructions):
+            try_successor_eviction(ctx, insn, Empty())
+            try_neighbour_eviction(ctx, insn, Empty())
+        ctx.space.check_invariants()
+        # No transaction leaked a partial allocation's page refs.
+        live_pages = {
+            p for a in ctx.space.allocations.values()
+            for p in range(a.vaddr - a.vaddr % 4096, a.end, 4096)
+        }
+        assert set(ctx.space._page_refs) == live_pages
+
+    def test_abort_invalidates_pun_window_memo(self):
+        # A cached pun enumeration must not survive a rollback that
+        # changed lock state under it.
+        code = bytes.fromhex("488903" "0010") + b"\x90" * 16
+        ctx = make_ctx(code)
+        before = ctx.pun_windows(BASE, BASE + 3)
+        assert before
+        tx = Transaction(ctx.image, ctx.space)
+        tx.write(BASE, b"\xe9\x11\x22")
+        assert ctx.pun_windows(BASE, BASE + 3) == []  # now locked
+        tx.abort()
+        after = ctx.pun_windows(BASE, BASE + 3)
+        assert after == before
+
+    def test_memo_hit_counters_accumulate(self):
+        code = bytes.fromhex("488903" "0010") + b"\x90" * 16
+        ctx = make_ctx(code)
+        ctx.pun_windows(BASE, BASE + 3)
+        misses = ctx.pw_misses
+        ctx.pun_windows(BASE, BASE + 3)
+        ctx.pun_windows(BASE, BASE + 3)
+        assert ctx.pw_hits == 2
+        assert ctx.pw_misses == misses

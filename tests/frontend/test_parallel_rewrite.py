@@ -26,8 +26,17 @@ def batch_configs():
     ]
 
 
+def pin_cpus(monkeypatch, n=4):
+    """Force the executor's CPU clamp so the pool path runs even when
+    the test host has a single CPU (where batches auto-serialize)."""
+    import repro.core.parallel as parallel_mod
+
+    monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: n)
+
+
 class TestParallelDeterminism:
-    def test_outputs_and_stats_match_serial(self):
+    def test_outputs_and_stats_match_serial(self, monkeypatch):
+        pin_cpus(monkeypatch)
         data = make_binary()
         configs = batch_configs()
         assert len(configs) >= 8
@@ -41,7 +50,8 @@ class TestParallelDeterminism:
             [r.stats.row() for r in parallel]
         assert [r.n_sites for r in serial] == [r.n_sites for r in parallel]
 
-    def test_parallel_observer_merges_worker_counters(self):
+    def test_parallel_observer_merges_worker_counters(self, monkeypatch):
+        pin_cpus(monkeypatch)
         data = make_binary()
         obs = Observer()
         rewrite_many(data, batch_configs(), matcher="jumps", jobs=4,
@@ -50,6 +60,18 @@ class TestParallelDeterminism:
         assert obs.counters.get("parallel.jobs") == 4
         # Every worker planned its own configuration.
         assert obs.runs("plan") == 8
+
+    def test_one_cpu_batch_shares_decode(self, monkeypatch):
+        # On a one-CPU host the pool cannot win: the batch must take the
+        # serial path, which decodes once for all configurations.
+        pin_cpus(monkeypatch, 1)
+        data = make_binary()
+        obs = Observer()
+        reports = rewrite_many(data, batch_configs(), matcher="jumps",
+                               jobs=4, observer=obs)
+        assert len(reports) == 8
+        assert "parallel.tasks" not in obs.counters
+        assert obs.runs("decode") == 1
 
     def test_unpicklable_config_degrades_to_shared_decode(self):
         data = make_binary()

@@ -1,0 +1,124 @@
+"""Differential tests: the fast-path decoder against the reference.
+
+``repro.x86.decoder.decode`` is a table-dispatched fast path;
+``decode_reference`` is the original straight-line implementation kept
+as an oracle.  Both must agree *exactly* — every public field and, for
+rejected input, the error message — on real compiled code and on
+arbitrary byte soup.  INTERNALS.md §7 documents the fast path; this
+file is its safety net.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DecodeError
+from repro.x86.decoder import decode, decode_all, decode_reference
+from repro.x86.insn import _FIELDS
+from tests.conftest import requires_gcc, requires_objdump
+from tests.x86.test_decoder_objdump import objdump_instructions
+
+
+def assert_same_decode(data: bytes, offset: int = 0, address: int = 0):
+    """Decode via both paths and compare field-by-field (or error-by-error)."""
+    fast_err = ref_err = None
+    fast = ref = None
+    try:
+        fast = decode(data, offset, address=address)
+    except DecodeError as exc:
+        fast_err = str(exc)
+    try:
+        ref = decode_reference(data, offset, address=address)
+    except DecodeError as exc:
+        ref_err = str(exc)
+    assert fast_err == ref_err, (
+        f"error divergence on {data.hex()} @ {offset}: "
+        f"fast={fast_err!r} reference={ref_err!r}"
+    )
+    if fast is None:
+        return None
+    for name in _FIELDS:
+        assert getattr(fast, name) == getattr(ref, name), (
+            f"field {name} diverges on {data.hex()} @ {offset}: "
+            f"fast={getattr(fast, name)!r} reference={getattr(ref, name)!r}"
+        )
+    return fast
+
+
+@requires_gcc
+@requires_objdump
+class TestCompiledCorpus:
+    def test_every_instruction_agrees(self, compiled_corpus):
+        """Field-identical decode on every objdump-listed instruction of
+        every corpus variant (thousands of real instructions)."""
+        total = 0
+        for path in compiled_corpus.values():
+            for addr, raw, text in objdump_instructions(str(path)):
+                if "(bad)" in text or text.startswith(".byte"):
+                    continue
+                assert_same_decode(raw, 0, address=addr)
+                total += 1
+        assert total > 500
+
+    def test_bulk_decode_matches_singles(self, compiled_corpus):
+        """decode_all over a contiguous run equals one-at-a-time decode."""
+        path = next(iter(compiled_corpus.values()))
+        listing = [
+            (addr, raw) for addr, raw, text in objdump_instructions(str(path))
+            if "(bad)" not in text and not text.startswith(".byte")
+        ]
+        # Find a contiguous run to sweep linearly.
+        run: list[tuple[int, bytes]] = []
+        for addr, raw in listing:
+            if run and addr != run[-1][0] + len(run[-1][1]):
+                if len(run) >= 50:
+                    break
+                run = []
+            run.append((addr, raw))
+        assert len(run) >= 50
+        base = run[0][0]
+        blob = b"".join(raw for _, raw in run)
+        region = decode_all(blob, address=base)
+        assert len(region.instructions) == len(run)
+        for insn, (addr, raw) in zip(region.instructions, run):
+            assert insn.address == addr
+            assert insn.raw == raw
+
+
+class TestFuzzDifferential:
+    @settings(max_examples=1500)
+    @given(st.binary(min_size=1, max_size=20))
+    def test_random_bytes_agree(self, data):
+        assert_same_decode(data)
+
+    @settings(max_examples=500)
+    @given(st.binary(min_size=1, max_size=24), st.integers(0, 4))
+    def test_nonzero_offsets_agree(self, data, offset):
+        assert_same_decode(data, min(offset, len(data)))
+
+    @settings(max_examples=500)
+    @given(st.binary(min_size=1, max_size=18))
+    def test_prefix_soup_agrees(self, data):
+        """Stress the prefix loop: REX / legacy / VEX lead-in bytes."""
+        soup = bytes([0x66, 0xF2, 0x48, 0xC4]) + data
+        assert_same_decode(soup)
+        assert_same_decode(bytes([0x67, 0x65]) + data)
+
+    @settings(max_examples=300)
+    @given(st.binary(min_size=1, max_size=16))
+    def test_two_byte_map_agrees(self, data):
+        assert_same_decode(b"\x0f" + data)
+        assert_same_decode(b"\x0f\x38" + data)
+        assert_same_decode(b"\x0f\x3a" + data)
+
+    @settings(max_examples=300)
+    @given(st.binary(min_size=1, max_size=20))
+    def test_lazy_raw_matches_slice(self, data):
+        """The fast path's lazy ``raw`` must materialize the same bytes
+        the reference stored eagerly."""
+        try:
+            fast = decode(data, 0)
+        except DecodeError:
+            return
+        ref = decode_reference(data, 0)
+        assert fast.raw == ref.raw == data[: fast.length]
