@@ -1,0 +1,164 @@
+"""The semantic-equivalence merge gate: a fixed-seed differential campaign.
+
+Runs a deterministic :func:`repro.check.campaign.run_campaign` — by
+default 200 synthetic binaries across three Table-1 profiles (non-PIE
+SPEC, PIE system, PIE browser) and five patch configurations (full
+tactics, baseline, coarse grouping, forced B0, ungrouped) — and exits
+nonzero on *any* divergence.  Every future perf PR must keep this green:
+it is the behavioural complement of ``bench_gate.py``'s timing gate.
+
+Results are written as JSON (default ``benchmarks/out/BENCH_check.json``,
+schema ``repro-check/1``) with the campaign counters and wall time.
+Failure artifacts (shrunken, replayable ``.repro.json`` reproducers) are
+dumped next to the result file; replay one with::
+
+    PYTHONPATH=src python -c "from repro.check import replay_artifact; \
+        print(replay_artifact('benchmarks/out/campaign-1-17.repro.json').to_dict())"
+
+``--self-test`` proves the gate can fail: it re-runs a small campaign
+with ``REPRO_CHECK_INJECT_BUG=1`` (a deliberate jump-back-displacement
+miscompile in ``core/trampoline.py``) and exits nonzero unless the
+oracle catches the bug *and* produces a shrunken artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+from repro.check import CampaignConfig, run_campaign
+from repro.core.observe import Observer
+
+SCHEMA = "repro-check/1"
+DEFAULT_OUT = pathlib.Path(__file__).parent / "out" / "BENCH_check.json"
+DEFAULT_SEED = 1
+DEFAULT_COUNT = 200
+SELF_TEST_COUNT = 6
+
+
+def run(seed: int, count: int, artifact_dir: pathlib.Path,
+        verbose: bool) -> tuple[dict, int]:
+    """One campaign; returns (payload, divergence count)."""
+    observer = Observer()
+
+    def progress(index: int, total: int, verdict: str) -> None:
+        if verbose and ((index + 1) % 25 == 0 or verdict != "equivalent"):
+            print(f"  [{index + 1}/{total}] {verdict}")
+
+    config = CampaignConfig(seed=seed, count=count,
+                            artifact_dir=str(artifact_dir))
+    t0 = time.perf_counter()
+    result = run_campaign(config, observer=observer, progress=progress)
+    wall_s = time.perf_counter() - t0
+
+    payload = {
+        "schema": SCHEMA,
+        "host": {"python": platform.python_version(),
+                 "machine": platform.machine()},
+        "campaign": result.to_dict(),
+        "metrics": {
+            "check_wall_s": round(wall_s, 3),
+            "check_binaries": result.binaries,
+            "check_equivalent": result.equivalent,
+            "check_divergences": result.divergences,
+            "check_unsupported": result.unsupported,
+            "check_shrink_steps": result.shrink_steps,
+            "check_events": result.events_compared,
+            "check_binaries_s": round(result.binaries / wall_s, 2),
+        },
+        "counters": {k: v for k, v in observer.counters.items()
+                     if k.startswith("check.")},
+    }
+    return payload, result.divergences
+
+
+def self_test(artifact_dir: pathlib.Path) -> int:
+    """Prove the gate can fail: inject the displacement bug and demand
+    the oracle catch it with a shrunken, replayable artifact."""
+    print(f"self-test: REPRO_CHECK_INJECT_BUG=1, "
+          f"{SELF_TEST_COUNT} binaries")
+    os.environ["REPRO_CHECK_INJECT_BUG"] = "1"
+    try:
+        result = run_campaign(CampaignConfig(
+            seed=DEFAULT_SEED, count=SELF_TEST_COUNT,
+            artifact_dir=str(artifact_dir)))
+    finally:
+        del os.environ["REPRO_CHECK_INJECT_BUG"]
+    if result.divergences == 0:
+        print("self-test FAILED: injected miscompile was not caught",
+              file=sys.stderr)
+        return 1
+    failure = result.failures[0]
+    if failure.artifact_path is None or not os.path.exists(failure.artifact_path):
+        print("self-test FAILED: no .repro.json artifact written",
+              file=sys.stderr)
+        return 1
+    shrunk = failure.shrunk_params
+    original = failure.params
+    if (shrunk.n_jump_sites + shrunk.n_write_sites
+            >= original.n_jump_sites + original.n_write_sites):
+        print("self-test FAILED: shrinking made no progress",
+              file=sys.stderr)
+        return 1
+    print(f"self-test OK: {result.divergences}/{result.binaries} caught, "
+          f"sites {original.n_jump_sites}+{original.n_write_sites} -> "
+          f"{shrunk.n_jump_sites}+{shrunk.n_write_sites} after "
+          f"{failure.shrink_steps} shrink steps, "
+          f"artifact {failure.artifact_path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--count", type=int, default=DEFAULT_COUNT,
+                        help=f"binaries to check (default {DEFAULT_COUNT})")
+    parser.add_argument("--out", default=str(DEFAULT_OUT),
+                        help="result JSON path")
+    parser.add_argument("--self-test", action="store_true",
+                        help="inject a miscompile and require the gate "
+                        "to catch it (exit 1 if it does not)")
+    parser.add_argument("-q", "--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+
+    if args.self_test:
+        return self_test(out.parent)
+
+    print(f"check campaign: seed={args.seed} count={args.count}")
+    payload, divergences = run(args.seed, args.count, out.parent,
+                               verbose=not args.quiet)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    m = payload["metrics"]
+    print(f"  {m['check_binaries']} binaries in {m['check_wall_s']}s "
+          f"({m['check_binaries_s']}/s): "
+          f"{m['check_equivalent']} equivalent, "
+          f"{m['check_divergences']} divergent, "
+          f"{m['check_unsupported']} unsupported")
+    print(f"  result: {out}")
+
+    if divergences:
+        print(f"\n{divergences} binaries diverged — the rewriter broke "
+              "program semantics.  Replay the shrunken reproducers "
+              f"(.repro.json files in {out.parent}) to debug.",
+              file=sys.stderr)
+        return 1
+    if m["check_unsupported"]:
+        # Synthetic campaign binaries must always be VM-runnable; an
+        # unsupported verdict here means the generator or VM regressed.
+        print(f"\n{m['check_unsupported']} binaries were not VM-checkable "
+              "— the campaign lost coverage.", file=sys.stderr)
+        return 1
+    print("check gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -80,6 +80,9 @@ class RewriteOptions:
     # Run VerifyPass after emission: re-decode every patched site and
     # check the rewritten jump has somewhere to land.
     verify: bool = False
+    # Run EquivalencePass after VerifyPass: execute original and output
+    # on the VM and compare observable behaviour (see repro.check).
+    check: bool = False
 
     def resolve_mode(self) -> str:
         if self.mode != "auto":
@@ -103,6 +106,9 @@ class RewriteResult:
     # over the observer's lifetime — shared across a batch on purpose).
     timings: dict[str, float] = field(default_factory=dict)
     counters: dict[str, int] = field(default_factory=dict)
+    # EquivalencePass product, when RewriteOptions(check=True) ran
+    # (a repro.check.oracle.EquivalenceReport).
+    equivalence: object | None = None
 
     @property
     def output_size(self) -> int:
@@ -151,6 +157,9 @@ class RewriteContext:
     # (formerly the ``_pending_reservation`` attribute hack).
     pending_reservation: list[Mapping] = field(default_factory=list)
     output: bytes | None = None
+    # EquivalencePass product (a repro.check.oracle.EquivalenceReport;
+    # typed loosely to keep repro.check out of the pipeline's imports).
+    equivalence: object | None = None
 
     # -- workspace construction -----------------------------------------
 
@@ -246,6 +255,7 @@ class RewriteContext:
             b0_sites=self.b0_sites,
             timings=dict(self.observer.timings),
             counters=dict(self.observer.counters),
+            equivalence=self.equivalence,
         )
 
 
@@ -608,12 +618,63 @@ class VerifyPass(PipelinePass):
         raise PatchError(f"verify: site {site:#x} is outside the image")
 
 
+class EquivalencePass(PipelinePass):
+    """Semantic check: run the original and the emitted output on the VM
+    (:mod:`repro.check.oracle`) and compare observable behaviour — exit
+    status, output bytes, and the ordered patch-site visit sequence, with
+    B0 trap handlers registered on both machines.
+
+    A ``divergent`` verdict is a rewriter bug and raises
+    :class:`~repro.errors.PatchError` with the first-divergence
+    diagnostics.  ``unsupported`` (the VM cannot faithfully execute the
+    *original* — e.g. a real dynamically-linked binary) is recorded but
+    not an error: no claim is made either way.  The report lands in
+    ``ctx.equivalence`` and the ``check.*`` counters.
+    """
+
+    name = "check"
+
+    def __init__(self, max_instructions: int | None = None) -> None:
+        self.max_instructions = max_instructions
+
+    def execute(self, ctx: RewriteContext) -> None:
+        if ctx.output is None or ctx.plan is None:
+            raise PatchError("EquivalencePass needs an emitted context")
+        # Local import: repro.check.oracle must stay importable without
+        # the pipeline and vice versa.
+        from repro.check.oracle import DEFAULT_BUDGET, check_equivalence
+
+        watched = (ctx.sites if ctx.sites is not None
+                   else [r.insn for r in (ctx.requests or ())])
+        sites = frozenset(i.address for i in watched)
+        by_addr = {i.address: i for i in (ctx.instructions or ())}
+        traps = {
+            site: bytes(by_addr[site].raw)
+            for site in ctx.b0_sites if site in by_addr
+        }
+        report = check_equivalence(
+            ctx.elf.data, ctx.output, sites=sites, traps=traps,
+            max_instructions=self.max_instructions or DEFAULT_BUDGET,
+        )
+        ctx.equivalence = report
+        obs = ctx.observer
+        obs.count(f"check.{report.verdict}")
+        obs.count("check.events", report.events_compared)
+        if report.verdict == "divergent":
+            d = report.divergence
+            raise PatchError(
+                "equivalence check failed: "
+                f"{d.kind if d else '?'}: {d.detail if d else ''}"
+            )
+
+
 def standard_passes(
     matcher=None,
     requests: list[PatchRequest] | None = None,
     *,
     frontend: str = "linear",
     verify: bool = False,
+    check: bool = False,
 ) -> list[Pass]:
     """The canonical pass sequence for one rewrite configuration."""
     passes: list[Pass] = [DecodePass(frontend)]
@@ -622,6 +683,8 @@ def standard_passes(
     passes += [PlanPass(requests), GroupPass(), EmitPass()]
     if verify:
         passes.append(VerifyPass())
+    if check:
+        passes.append(EquivalencePass())
     return passes
 
 

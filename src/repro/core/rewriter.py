@@ -30,6 +30,7 @@ from __future__ import annotations
 from repro.core.observe import Observer
 from repro.core.pipeline import (
     EmitPass,
+    EquivalencePass,
     GroupPass,
     PlanPass,
     RewriteContext,
@@ -117,5 +118,7 @@ class Rewriter:
         passes = [GroupPass(), EmitPass()]
         if self.options.verify:
             passes.append(VerifyPass())
+        if self.options.check:
+            passes.append(EquivalencePass())
         run_pipeline(self.context, passes)
         return self.context.result()

@@ -26,6 +26,16 @@ from repro.x86.tables import Flow
 
 JMP_BACK_SIZE = 5
 
+
+def _inject_bug() -> bool:
+    """Test-only fault injection (``$REPRO_CHECK_INJECT_BUG``): when set,
+    every trampoline's jump-back displacement is miscomputed.  Exists so
+    the equivalence-check CI gate can prove it is able to fail; read
+    dynamically so tests can toggle it per-case."""
+    import os
+
+    return bool(os.environ.get("REPRO_CHECK_INJECT_BUG"))
+
 # Caller-saved registers preserved around a call-style instrumentation.
 _SCRATCH_REGS = (enc.RAX, enc.RCX, enc.RDX, enc.RSI, enc.RDI,
                  enc.R8, enc.R9, enc.R10, enc.R11)
@@ -209,6 +219,11 @@ def build_trampoline(insn: Instruction, instr: Instrumentation,
     out += relocate(insn, tramp_addr + len(out))
     if not _no_return(insn):
         back = insn.end - (tramp_addr + len(out) + JMP_BACK_SIZE)
+        if _inject_bug():
+            # Test-only miscompile: land the jump-back 2 bytes past the
+            # displaced instruction's end (mid-instruction), the classic
+            # displacement-math bug the equivalence oracle must catch.
+            back += 2
         out += enc.encode_jmp_rel32(back)
     if expected is None:
         expected = trampoline_size(insn, instr)

@@ -521,6 +521,23 @@ def main(argv: list[str] | None = None) -> int:
         "and check its jump target",
     )
     parser.add_argument(
+        "--check", action="store_true",
+        help="run the semantic-equivalence oracle: execute original and "
+        "rewritten binaries on the built-in VM and compare behaviour, "
+        "then run a seeded synthetic differential campaign (exit 1 on "
+        "any divergence)",
+    )
+    parser.add_argument(
+        "--check-seed", type=int, default=1, metavar="N",
+        help="campaign seed for --check (default: 1; a campaign is a "
+        "pure function of its seed)",
+    )
+    parser.add_argument(
+        "--check-count", type=int, default=25, metavar="N",
+        help="synthetic binaries in the --check campaign (default: 25; "
+        "0 skips the campaign and only checks this rewrite)",
+    )
+    parser.add_argument(
         "--jobs", "-j", type=int, default=None, metavar="N",
         help="worker processes for batch rewrites (default: $REPRO_JOBS "
         "or serial; 0 = one per CPU)",
@@ -653,9 +670,41 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(stats, f, indent=2)
     with open(args.output, "wb") as f:
         f.write(report.result.data)
+
+    check_failed = False
+    check_payload = None
+    if args.check:
+        from repro.check import CampaignConfig, run_campaign
+        from repro.check.oracle import check_rewrite
+
+        oracle = check_rewrite(
+            data, report.result.data,
+            b0_sites=report.result.b0_sites,
+            matcher=matcher, frontend=args.frontend,
+        )
+        campaign = None
+        if args.check_count > 0:
+            campaign = run_campaign(
+                CampaignConfig(seed=args.check_seed, count=args.check_count),
+                observer=observer,
+            )
+        check_failed = (oracle.verdict == "divergent"
+                        or (campaign is not None and not campaign.ok))
+        counters = {"check.binaries": 0, "check.divergences": 0,
+                    "check.shrink_steps": 0}
+        counters.update({k: v for k, v in observer.counters.items()
+                         if k.startswith("check.")})
+        check_payload = {
+            "rewrite": oracle.to_dict(),
+            "campaign": campaign.to_dict() if campaign is not None else None,
+            "counters": counters,
+        }
+
     if args.json:
         payload = report.to_dict()
         payload["cache"] = cache.stats.as_dict() if cache is not None else None
+        if check_payload is not None:
+            payload["check"] = check_payload
         json.dump(payload, sys.stdout, indent=2)
         print()
     else:
@@ -664,9 +713,21 @@ def main(argv: list[str] | None = None) -> int:
             s = cache.stats
             print(f"cache: {s.hits} hits, {s.misses} misses, "
                   f"{s.stores} stores")
+        if check_payload is not None:
+            print(f"check: rewrite {check_payload['rewrite']['verdict']}")
+            camp = check_payload["campaign"]
+            if camp is not None:
+                print(f"check: campaign seed={camp['seed']} "
+                      f"binaries={camp['binaries']} "
+                      f"equivalent={camp['equivalent']} "
+                      f"divergences={camp['divergences']} "
+                      f"unsupported={camp['unsupported']}")
     if report.result.plan.failures:
         print(f"warning: {len(report.result.plan.failures)} sites not patched",
               file=sys.stderr)
+    if check_failed:
+        print("error: equivalence check failed", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -15,7 +15,7 @@ buffer), branches over small filler blocks, and accumulates into ``%rax``.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.elf import constants as elfc
 from repro.elf.builder import TinyProgram
@@ -42,6 +42,18 @@ class SynthesisParams:
     # Override the store buffer's address (e.g. a low-fat payload pointer).
     # When set, an anonymous RW segment covering it is added to the image.
     buffer_addr: int | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (campaign ``.repro.json`` replayability)."""
+        d = asdict(self)
+        d["block_len"] = list(self.block_len)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SynthesisParams":
+        d = dict(d)
+        d["block_len"] = tuple(d.get("block_len", (2, 6)))
+        return cls(**d)
 
     @classmethod
     def from_profile(cls, profile: BinaryProfile, *,

@@ -276,27 +276,37 @@ class Machine:
 
     # -- run loop -------------------------------------------------------------------------
 
+    def step_once(self) -> str | None:
+        """One fetch/execute cycle with full syscall/signal handling.
+
+        Returns ``None`` for an ordinary instruction, ``"syscall"`` after
+        a handled syscall, ``"trap"`` after a B0 ``int3`` emulation, and
+        the terminal tags ``"exit"`` / ``"hlt"`` when the program stopped.
+        The semantic-equivalence oracle (:mod:`repro.check.oracle`) drives
+        two machines through this method in event lockstep; :meth:`run`
+        is a plain loop over it.
+        """
+        event = self.cpu.step()
+        if event is None:
+            return None
+        if event == EV_SYSCALL:
+            return "syscall" if self._handle_syscall() else "exit"
+        if event == EV_INT3:
+            self._handle_int3()
+            return "trap"
+        if event == EV_HLT:
+            return "hlt"
+        raise VmError(f"unhandled event {event}")
+
     def run(self) -> RunResult:
         reason = "exit"
-        try:
-            while self.cpu.icount < self.max_instructions:
-                event = self.cpu.step()
-                if event is None:
-                    continue
-                if event == EV_SYSCALL:
-                    if not self._handle_syscall():
-                        break
-                elif event == EV_INT3:
-                    self._handle_int3()
-                elif event == EV_HLT:
-                    reason = "hlt"
-                    break
-                else:
-                    raise VmError(f"unhandled event {event}")
-            else:
-                reason = "budget"
-        except VmError:
-            raise
+        while self.cpu.icount < self.max_instructions:
+            tag = self.step_once()
+            if tag in ("exit", "hlt"):
+                reason = "exit" if tag == "exit" else "hlt"
+                break
+        else:
+            reason = "budget"
         return RunResult(
             exit_code=self.exit_code,
             stdout=bytes(self.stdout),

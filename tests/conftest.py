@@ -25,9 +25,35 @@ requires_native = pytest.mark.skipif(
 requires_gcc = pytest.mark.skipif(
     not (HAVE_NATIVE and HAVE_GCC), reason="requires gcc on x86-64 Linux"
 )
+#: Alias used by tests that build and run with the host toolchain; one
+#: definition here so every file skips with the same reason string.
+requires_toolchain = requires_gcc
 requires_objdump = pytest.mark.skipif(
     not HAVE_OBJDUMP, reason="requires objdump"
 )
+
+
+def corpus_variant(corpus: dict, name: str):
+    """The compiled-corpus build *name*, or a uniform skip.
+
+    The single place encoding "this gcc variant did not build on this
+    host" — integration tests must not hand-roll the membership check.
+    """
+    if name not in corpus:
+        pytest.skip(f"gcc variant {name} did not build on this host")
+    return corpus[name]
+
+
+@pytest.fixture
+def static_toolchain(compiled_corpus):
+    """Path to the statically linked corpus build, or a uniform skip."""
+    return corpus_variant(compiled_corpus, "O1_static")
+
+
+@pytest.fixture
+def nopie_toolchain(compiled_corpus):
+    """Path to the non-PIE corpus build, or a uniform skip."""
+    return corpus_variant(compiled_corpus, "O2_nopie")
 
 
 @pytest.fixture

@@ -6,7 +6,7 @@ import pytest
 from repro.core.rewriter import RewriteOptions
 from repro.frontend.tool import instrument_elf
 from repro.synth.generator import SynthesisParams, synthesize
-from tests.conftest import requires_gcc, requires_native
+from tests.conftest import corpus_variant, requires_native, requires_toolchain
 
 
 @requires_native
@@ -37,7 +37,7 @@ class TestSyntheticNative:
         assert (code1, out1) == (code0, out0)
 
 
-@requires_gcc
+@requires_toolchain
 class TestCompiledNative:
     """The paper's claim, in miniature: rewrite compiler-produced,
     dynamically-linked binaries with zero knowledge of their control
@@ -47,9 +47,7 @@ class TestCompiledNative:
     @pytest.mark.parametrize("matcher", ["jumps", "heap-writes"])
     def test_rewrite_compiled_program(self, compiled_corpus, run_native,
                                       variant, matcher):
-        if variant not in compiled_corpus:
-            pytest.skip(f"{variant} did not build")
-        data = compiled_corpus[variant].read_bytes()
+        data = corpus_variant(compiled_corpus, variant).read_bytes()
         code0, out0 = run_native(data)
         report = instrument_elf(data, matcher,
                                 options=RewriteOptions(mode="loader"))
@@ -57,20 +55,16 @@ class TestCompiledNative:
         code1, out1 = run_native(report.result.data)
         assert (code1, out1) == (code0, out0)
 
-    def test_rewrite_static_binary(self, compiled_corpus, run_native):
-        if "O1_static" not in compiled_corpus:
-            pytest.skip("static build unavailable")
-        data = compiled_corpus["O1_static"].read_bytes()
+    def test_rewrite_static_binary(self, static_toolchain, run_native):
+        data = static_toolchain.read_bytes()
         code0, out0 = run_native(data)
         report = instrument_elf(data, "jumps",
                                 options=RewriteOptions(mode="loader"))
         code1, out1 = run_native(report.result.data)
         assert (code1, out1) == (code0, out0)
 
-    def test_nonpie_exercises_eviction_tactics(self, compiled_corpus):
-        if "O2_nopie" not in compiled_corpus:
-            pytest.skip("no-pie build unavailable")
-        data = compiled_corpus["O2_nopie"].read_bytes()
+    def test_nonpie_exercises_eviction_tactics(self, nopie_toolchain):
+        data = nopie_toolchain.read_bytes()
         report = instrument_elf(data, "jumps",
                                 options=RewriteOptions(mode="loader"))
         stats = report.stats

@@ -19,11 +19,7 @@ import pytest
 from repro import RewriteOptions, instrument_elf
 from repro.elf.dynamic import find_init
 from repro.elf.reader import ElfFile
-from tests.conftest import HAVE_GCC, HAVE_NATIVE
-
-requires_toolchain = pytest.mark.skipif(
-    not (HAVE_NATIVE and HAVE_GCC), reason="requires gcc on x86-64 Linux"
-)
+from tests.conftest import HAVE_GCC, HAVE_NATIVE, requires_toolchain
 
 _LIB_SOURCE = r"""
 #include <stdlib.h>

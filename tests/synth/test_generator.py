@@ -9,10 +9,49 @@ from repro.synth.profiles import profile_by_name
 from repro.vm.machine import run_elf
 
 
+def assert_identical_binaries(a, b):
+    """Every observable of a SyntheticBinary, not just the image bytes —
+    the check campaign's replay artifacts depend on all of them."""
+    assert a.data == b.data
+    assert a.jump_sites == b.jump_sites
+    assert a.write_sites == b.write_sites
+    assert (a.text_vaddr, a.text_size) == (b.text_vaddr, b.text_size)
+
+
 class TestDeterminism:
     def test_same_seed_same_binary(self):
         p = SynthesisParams(n_jump_sites=30, n_write_sites=20, seed=9)
-        assert synthesize(p).data == synthesize(p).data
+        assert_identical_binaries(synthesize(p), synthesize(p))
+
+    def test_fresh_params_instances_agree(self):
+        """Determinism must come from the params *values*, never from
+        object identity or hidden generator state."""
+        make = lambda: SynthesisParams(  # noqa: E731
+            n_jump_sites=17, n_write_sites=23, seed=42, pie=True,
+            loop_iters=2, short_jump_frac=0.4, short_store_frac=0.6,
+            block_len=(3, 7), bss_bytes=4096)
+        assert_identical_binaries(synthesize(make()), synthesize(make()))
+
+    def test_profile_params_deterministic(self):
+        p = SynthesisParams.from_profile(profile_by_name("vim"))
+        assert_identical_binaries(synthesize(p), synthesize(p))
+
+    def test_dict_round_trip_preserves_output(self):
+        """to_dict/from_dict is the .repro.json replay path: the decoded
+        params must synthesize the byte-identical binary."""
+        p = SynthesisParams(n_jump_sites=12, n_write_sites=9, seed=77,
+                            pie=True, block_len=(2, 5), loop_iters=1)
+        q = SynthesisParams.from_dict(p.to_dict())
+        assert q == p
+        assert q.block_len == (2, 5)  # tuple restored from JSON list
+        assert_identical_binaries(synthesize(p), synthesize(q))
+
+    def test_dict_round_trip_through_json(self):
+        import json
+
+        p = SynthesisParams(n_jump_sites=5, n_write_sites=5, seed=3)
+        q = SynthesisParams.from_dict(json.loads(json.dumps(p.to_dict())))
+        assert q == p
 
     def test_different_seed_different_binary(self):
         a = synthesize(SynthesisParams(n_jump_sites=30, n_write_sites=20, seed=1))

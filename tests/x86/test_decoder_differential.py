@@ -122,3 +122,96 @@ class TestFuzzDifferential:
             return
         ref = decode_reference(data, 0)
         assert fast.raw == ref.raw == data[: fast.length]
+
+
+#: Every legacy prefix byte (segment overrides, operand/address size,
+#: lock, repeat) — the bytes the fast path's first-byte class table must
+#: loop over before reaching an opcode.
+LEGACY_PREFIXES = [0x26, 0x2E, 0x36, 0x3E, 0x64, 0x65, 0x66, 0x67,
+                   0xF0, 0xF2, 0xF3]
+
+
+class TestPrefixHeavyCorpus:
+    """Prefix-dense inputs: deep prefix chains, REX in legal and stale
+    positions, and the 15-byte instruction-length limit — the paths most
+    likely to diverge between the table-dispatched fast decoder and the
+    straight-line reference."""
+
+    @settings(max_examples=600)
+    @given(st.lists(st.sampled_from(LEGACY_PREFIXES), min_size=1,
+                    max_size=14),
+           st.binary(min_size=1, max_size=8))
+    def test_stacked_legacy_prefixes_agree(self, prefixes, tail):
+        assert_same_decode(bytes(prefixes) + tail)
+
+    @settings(max_examples=400)
+    @given(st.integers(0x40, 0x4F),
+           st.lists(st.sampled_from(LEGACY_PREFIXES), max_size=6),
+           st.binary(min_size=1, max_size=8))
+    def test_rex_positions_agree(self, rex, prefixes, tail):
+        """REX is only effective immediately before the opcode; a stale
+        REX followed by legacy prefixes must decode identically too."""
+        assert_same_decode(bytes(prefixes) + bytes([rex]) + tail)
+        assert_same_decode(bytes([rex]) + bytes(prefixes) + tail)
+
+    def test_length_limit_boundary(self):
+        """Exactly-at and past the 15-byte instruction length limit."""
+        for n in range(10, 17):
+            assert_same_decode(bytes([0x66] * n) + b"\x90")
+            assert_same_decode(bytes([0x2E] * n) + b"\x0f\xaf\xc1")
+
+    @settings(max_examples=300)
+    @given(st.lists(st.sampled_from(LEGACY_PREFIXES), min_size=1,
+                    max_size=13))
+    def test_prefixes_only_agree(self, prefixes):
+        """A prefix run that never reaches an opcode."""
+        assert_same_decode(bytes(prefixes))
+
+
+class TestTruncationBoundaries:
+    """Every valid instruction re-decoded at every byte prefix of its
+    encoding: the two decoders must agree on the outcome at each cut —
+    the same truncation error, or the same shorter instruction when a
+    prefix happens to be self-delimiting."""
+
+    @settings(max_examples=400)
+    @given(st.binary(min_size=1, max_size=15))
+    def test_random_valid_instructions(self, data):
+        try:
+            insn = decode_reference(data, 0)
+        except DecodeError:
+            return
+        for cut in range(1, insn.length):
+            assert_same_decode(data[:cut])
+
+    @settings(max_examples=200)
+    @given(st.lists(st.sampled_from(LEGACY_PREFIXES), min_size=1,
+                    max_size=4),
+           st.binary(min_size=1, max_size=10))
+    def test_prefixed_truncations(self, prefixes, tail):
+        data = bytes(prefixes) + tail
+        for cut in range(1, len(data)):
+            assert_same_decode(data[:cut])
+
+    def test_synthetic_stream_every_prefix(self):
+        """Deterministic corpus: every instruction of a generated
+        workload binary, truncated at every byte boundary."""
+        from repro.elf.reader import ElfFile
+        from repro.frontend.lineardisasm import disassemble_text
+        from repro.synth.generator import SynthesisParams, synthesize
+
+        binary = synthesize(SynthesisParams(
+            n_jump_sites=20, n_write_sites=20, seed=5,
+            short_jump_frac=0.5, short_store_frac=0.5))
+        instructions = disassemble_text(ElfFile(binary.data))
+        assert len(instructions) > 200
+        seen: set[bytes] = set()
+        for insn in instructions:
+            raw = bytes(insn.raw)
+            if raw in seen:
+                continue
+            seen.add(raw)
+            full = assert_same_decode(raw, address=insn.address)
+            assert full is not None and full.length == len(raw)
+            for cut in range(1, len(raw)):
+                assert_same_decode(raw[:cut], address=insn.address)
