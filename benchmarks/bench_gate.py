@@ -13,8 +13,8 @@ Comparison rules, by metric name:
   trip the gate on scheduler noise;
 * ``*speedup`` (ratios, higher is better) — regression when the current
   value falls below ``baseline / (1 + threshold)``;
-* ``*_mb_s`` / ``*_sites_s`` (throughput rates, higher is better) —
-  regression when the current value falls below
+* ``*_mb_s`` / ``*_sites_s`` / ``*_rps`` (throughput rates, higher is
+  better) — regression when the current value falls below
   ``baseline / (1 + threshold)``;
 * ``*_visits`` (work counters, lower is better) — regression when the
   current value grows past ``baseline * (1 + threshold)``;
@@ -54,7 +54,7 @@ def compare_metric(name: str, base, cur, threshold: float,
     """(regressed, verdict text) for one metric pair."""
     # Throughput rates end in "_s" too — they must be classified before
     # the wall-time rule, and their regression direction is inverted.
-    if name.endswith(("_mb_s", "_sites_s")):
+    if name.endswith(("_mb_s", "_sites_s", "_rps")):
         floor = base / (1.0 + threshold)
         if cur < floor:
             return True, (f"throughput dropped: {base} -> {cur} "

@@ -21,6 +21,11 @@ across a :mod:`multiprocessing` pool with three guarantees:
 The worker count resolves, in order, from the explicit ``jobs``
 argument, the ``REPRO_JOBS`` environment variable, and finally ``1``
 (serial).  ``jobs <= 0`` means "one per CPU".
+
+All of that resolution happens exactly once, when an
+:class:`ExecutorConfig` is constructed — a long-lived service resolves
+its configuration at startup and every request reuses it, so changing
+``$REPRO_JOBS`` mid-flight cannot change worker behaviour.
 """
 
 from __future__ import annotations
@@ -29,7 +34,7 @@ import multiprocessing
 import os
 import pickle
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Iterable, Mapping, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -38,15 +43,18 @@ R = TypeVar("R")
 JOBS_ENV = "REPRO_JOBS"
 
 
-def resolve_jobs(jobs: int | None = None) -> int:
+def resolve_jobs(jobs: int | None = None,
+                 environ: Mapping[str, str] | None = None) -> int:
     """Resolve a worker count: argument > ``$REPRO_JOBS`` > 1 (serial).
 
     Non-positive values request one worker per CPU; unparsable
     environment values fall back to serial rather than failing a run
-    over a typo.
+    over a typo.  This is a *configuration-time* helper — call it when
+    building an :class:`ExecutorConfig`, never on a per-request path.
     """
     if jobs is None:
-        raw = os.environ.get(JOBS_ENV, "").strip()
+        env = os.environ if environ is None else environ
+        raw = env.get(JOBS_ENV, "").strip()
         if not raw:
             return 1
         try:
@@ -56,6 +64,42 @@ def resolve_jobs(jobs: int | None = None) -> int:
     if jobs <= 0:
         return os.cpu_count() or 1
     return jobs
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Immutable executor configuration, resolved once at construction.
+
+    ``jobs`` is always a concrete positive worker count here — the
+    ``$REPRO_JOBS`` / "0 = one per CPU" conveniences are applied by
+    :meth:`from_env` when the config is built, so an executor carried
+    by a long-lived service never consults the environment again.
+    """
+
+    jobs: int = 1
+    start_method: str | None = None
+    cpu_count: int = 0  # 0: resolved to os.cpu_count() in __post_init__
+
+    def __post_init__(self) -> None:
+        if self.cpu_count <= 0:
+            object.__setattr__(self, "cpu_count", os.cpu_count() or 1)
+        if self.jobs <= 0:
+            object.__setattr__(self, "jobs", os.cpu_count() or 1)
+
+    @classmethod
+    def from_env(
+        cls,
+        jobs: int | None = None,
+        start_method: str | None = None,
+        cpu_count: int | None = None,
+        environ: Mapping[str, str] | None = None,
+    ) -> "ExecutorConfig":
+        """Resolve configuration: arguments > ``$REPRO_JOBS`` > serial."""
+        return cls(
+            jobs=resolve_jobs(jobs, environ),
+            start_method=start_method,
+            cpu_count=cpu_count if cpu_count is not None else 0,
+        )
 
 
 def is_picklable(obj: object) -> bool:
@@ -87,13 +131,17 @@ class BatchExecutor:
     else degrades to the serial loop (recorded in :attr:`last`).
     """
 
-    def __init__(self, jobs: int | None = None,
+    def __init__(self, jobs: "int | ExecutorConfig | None" = None,
                  start_method: str | None = None,
                  cpu_count: int | None = None) -> None:
-        self.jobs = resolve_jobs(jobs)
-        self.start_method = start_method
-        self.cpu_count = cpu_count if cpu_count is not None else (
-            os.cpu_count() or 1)
+        if isinstance(jobs, ExecutorConfig):
+            config = jobs
+        else:
+            config = ExecutorConfig.from_env(jobs, start_method, cpu_count)
+        self.config = config
+        self.jobs = config.jobs
+        self.start_method = config.start_method
+        self.cpu_count = config.cpu_count
         self.last: ExecutionReport | None = None
 
     def effective_workers(self, n_items: int) -> int:

@@ -14,7 +14,7 @@ Two optional accelerators thread through every entry point:
   batch across worker processes, one (binary, config) pair per task,
   with deterministic ordering and a serial fallback that produces the
   same bytes;
-* ``cache`` — an :class:`~repro.core.cache.ArtifactCache` persists
+* ``cache`` — an :class:`~repro.core.cache.ArtifactStore` persists
   decoded instruction streams and matcher results (optionally whole
   rewrite results) on disk, so warm runs skip ``DecodePass`` and
   ``MatchPass`` entirely — checkable via ``pass.decode.runs == 0`` and
@@ -28,10 +28,10 @@ import json
 import sys
 from dataclasses import dataclass, replace
 
-from repro.core.cache import ArtifactCache
+from repro.core.cache import ArtifactStore
 from repro.core.grouping import DEFAULT_MAX_MAP_COUNT
 from repro.core.observe import Observer, derive_throughput, stderr_trace_hook
-from repro.core.parallel import BatchExecutor, is_picklable
+from repro.core.parallel import BatchExecutor, ExecutorConfig, is_picklable
 from repro.core.pipeline import DecodePass, MatchPass, RewriteContext
 from repro.core.rewriter import RewriteOptions, RewriteResult, Rewriter
 from repro.core.strategy import PatchRequest, TacticToggles
@@ -127,7 +127,7 @@ def prepare_binary(
     *,
     frontend: str = "linear",
     observer: Observer | None = None,
-    cache: ArtifactCache | None = None,
+    cache: ArtifactStore | None = None,
 ) -> RewriteContext:
     """Parse and disassemble *data* once, into a reusable context.
 
@@ -182,7 +182,7 @@ class _ConfigTask:
 def _run_config_task(task: _ConfigTask):
     """Worker body: a single-configuration serial rewrite, returning the
     report plus the worker observer's accumulations and cache traffic."""
-    cache = (ArtifactCache(task.cache_root, max_bytes=task.cache_max_bytes)
+    cache = (ArtifactStore(task.cache_root, max_bytes=task.cache_max_bytes)
              if task.cache_root is not None else None)
     observer = Observer()
     [report] = _rewrite_serial(
@@ -203,7 +203,7 @@ def _rewrite_serial(
     instrumentation: Instrumentation | str | None,
     frontend: str,
     observer: Observer | None,
-    cache: ArtifactCache | None,
+    cache: ArtifactStore | None,
     cache_outputs: bool,
 ) -> list[InstrumentReport]:
     """The in-process batch loop: one decode, cached matches, and a
@@ -271,7 +271,7 @@ def _match_sites(
     base: RewriteContext,
     spec: Matcher | str,
     site_cache: dict[object, list],
-    cache: ArtifactCache | None,
+    cache: ArtifactStore | None,
     decode_key: str | None,
 ) -> list:
     """Resolve a matcher spec to its site list: per-batch memo first,
@@ -314,8 +314,8 @@ def rewrite_many(
     instrumentation: Instrumentation | str | None = None,
     frontend: str = "linear",
     observer: Observer | None = None,
-    jobs: int | None = None,
-    cache: ArtifactCache | None = None,
+    jobs: int | ExecutorConfig | BatchExecutor | None = None,
+    cache: ArtifactStore | None = None,
     cache_outputs: bool = False,
 ) -> list[InstrumentReport]:
     """Rewrite one binary under many configurations, sharing the decode.
@@ -339,7 +339,10 @@ def rewrite_many(
     """
     norm = [cfg if isinstance(cfg, RewriteConfig) else RewriteConfig(options=cfg)
             for cfg in configs]
-    executor = BatchExecutor(jobs)
+    # *jobs* may be a pre-built executor (or a frozen ExecutorConfig):
+    # long-lived callers resolve $REPRO_JOBS once at startup and reuse
+    # the result for every request instead of re-reading it here.
+    executor = jobs if isinstance(jobs, BatchExecutor) else BatchExecutor(jobs)
     # would_parallelize folds in the CPU count: on a one-CPU host the
     # pool cannot beat the serial path (which shares a single decode),
     # so the batch never pays the fork/pickle overhead.
@@ -370,7 +373,7 @@ def _rewrite_parallel(
     instrumentation: Instrumentation | str | None,
     frontend: str,
     observer: Observer | None,
-    cache: ArtifactCache | None,
+    cache: ArtifactStore | None,
     cache_outputs: bool,
 ) -> list[InstrumentReport] | None:
     """Fan the batch out across worker processes, or return None when a
@@ -413,7 +416,7 @@ def instrument_elf(
     *,
     frontend: str = "linear",
     observer: Observer | None = None,
-    cache: ArtifactCache | None = None,
+    cache: ArtifactStore | None = None,
 ) -> InstrumentReport:
     """Instrument every matched instruction of the binary *data*.
 
@@ -441,7 +444,7 @@ def instrument_elf_auto(
     options: RewriteOptions | None = None,
     *,
     max_mappings: int | None = None,
-    cache: ArtifactCache | None = None,
+    cache: ArtifactStore | None = None,
 ) -> InstrumentReport:
     """Like :func:`instrument_elf`, but auto-tunes the page-grouping
     granularity M: doubling it until the loader's mapping count fits
@@ -638,7 +641,7 @@ def main(argv: list[str] | None = None) -> int:
     observer = Observer()
     if args.trace:
         observer.add_hook(stderr_trace_hook)
-    cache = ArtifactCache(args.cache_dir) if args.cache else None
+    cache = ArtifactStore(args.cache_dir) if args.cache else None
 
     def run() -> InstrumentReport:
         return rewrite_many(

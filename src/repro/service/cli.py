@@ -1,0 +1,124 @@
+"""``repro serve`` — run the rewrite daemon from the command line.
+
+Every flag maps onto one :class:`~repro.service.config.ServiceConfig`
+field; environment defaults (``REPRO_SERVICE_*``, ``$REPRO_JOBS``,
+``$REPRO_CACHE_DIR``) are resolved here, exactly once, before the
+event loop starts.  See ``docs/SERVICE.md`` and ``docs/CLI.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from repro.core.cache import CacheConfig
+from repro.core.parallel import ExecutorConfig
+from repro.service.config import ServiceConfig
+from repro.service.server import RewriteService
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="E9Patch-reproduction service tools.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the rewrite daemon (unix socket or TCP)",
+        description="Serve rewrite requests over a local JSON/HTTP API "
+        "with a bounded queue, worker pool, and graceful SIGTERM drain.",
+    )
+    serve.add_argument(
+        "--socket", metavar="PATH", default=None,
+        help="bind a unix-domain socket at PATH (default: "
+        "$REPRO_SERVICE_SOCKET, else TCP)",
+    )
+    serve.add_argument(
+        "--host", default=None,
+        help="TCP bind address (default: $REPRO_SERVICE_HOST or 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=None, metavar="N",
+        help="TCP port; 0 picks a free port (default: $REPRO_SERVICE_PORT "
+        "or 9321)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="concurrent rewrite workers (default: $REPRO_SERVICE_WORKERS, "
+        "else $REPRO_JOBS, else 1)",
+    )
+    serve.add_argument(
+        "--queue", type=int, default=None, metavar="N",
+        help="bounded request-queue depth; a full queue answers 429 "
+        "(default: $REPRO_SERVICE_QUEUE or 64)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-request budget in seconds, queue wait included "
+        "(default: $REPRO_SERVICE_TIMEOUT or 120)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=None, metavar="S",
+        help="how long SIGTERM waits for in-flight work "
+        "(default: $REPRO_SERVICE_DRAIN_TIMEOUT or 30)",
+    )
+    serve.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=True,
+        help="share an on-disk artifact store across requests "
+        "(default: on; --no-cache disables)",
+    )
+    serve.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="artifact store location (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro)",
+    )
+    serve.add_argument(
+        "--frontend", default="linear", choices=("linear", "symbols"),
+        help="default disassembly frontend (per-request override allowed)",
+    )
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ServiceConfig:
+    """One-time resolution: CLI flags > REPRO_SERVICE_* env > defaults."""
+    overrides: dict = {}
+    if args.socket is not None:
+        overrides["socket_path"] = args.socket
+    if args.host is not None:
+        overrides["host"] = args.host
+    if args.port is not None:
+        overrides["port"] = args.port
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.queue is not None:
+        overrides["queue_depth"] = args.queue
+    if args.timeout is not None:
+        overrides["request_timeout"] = args.timeout
+    if args.drain_timeout is not None:
+        overrides["drain_timeout"] = args.drain_timeout
+    overrides["frontend"] = args.frontend
+    overrides["cache"] = (CacheConfig.from_env(args.cache_dir)
+                          if args.cache else None)
+    if args.workers is not None and args.workers > 0:
+        # An explicit worker count also sizes the executor config, so
+        # batch fan-out inside a request agrees with the pool.
+        overrides["executor"] = ExecutorConfig.from_env(args.workers)
+    return ServiceConfig.from_env(**overrides)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        service = RewriteService(config_from_args(args))
+        try:
+            asyncio.run(service.run())
+        except KeyboardInterrupt:
+            pass
+        return 0
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,155 @@
+"""A small blocking client for the rewrite daemon (stdlib only).
+
+Speaks the daemon's JSON-over-HTTP API over either a unix-domain
+socket or TCP, via :mod:`http.client`.  Used by the tests, the CI
+smoke driver, and the service benchmark; it is also the reference for
+what a third-party client needs to implement (see ``docs/SERVICE.md``).
+"""
+
+from __future__ import annotations
+
+import base64
+import http.client
+import json
+import socket
+import time
+
+
+class ServiceError(Exception):
+    """A non-2xx response from the daemon, with its typed JSON body."""
+
+    def __init__(self, status: int, body: dict,
+                 headers: dict[str, str] | None = None) -> None:
+        error = (body or {}).get("error", {})
+        super().__init__(
+            f"HTTP {status}: {error.get('type', 'error')} — "
+            f"{error.get('message', '(no message)')}")
+        self.status = status
+        self.body = body or {}
+        self.headers = headers or {}
+
+    @property
+    def kind(self) -> str:
+        return self.body.get("error", {}).get("type", "error")
+
+    @property
+    def retry_after(self) -> float | None:
+        raw = self.headers.get("retry-after")
+        try:
+            return float(raw) if raw is not None else None
+        except ValueError:
+            return None
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """HTTPConnection over an ``AF_UNIX`` socket path."""
+
+    def __init__(self, path: str, timeout: float) -> None:
+        super().__init__("localhost", timeout=timeout)
+        self._unix_path = path
+
+    def connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        sock.connect(self._unix_path)
+        self.sock = sock
+
+
+class ServiceClient:
+    """One daemon endpoint; a fresh connection per request (the daemon
+    answers ``Connection: close``), so one client is thread-safe."""
+
+    def __init__(self, socket_path: str | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 timeout: float = 120.0) -> None:
+        if socket_path is None and not port:
+            raise ValueError("need a socket_path or a TCP port")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self.socket_path is not None:
+            return _UnixHTTPConnection(self.socket_path, self.timeout)
+        return http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+
+    def request(self, method: str, path: str,
+                payload: dict | None = None) -> tuple[int, dict, dict]:
+        """One round trip: ``(status, json_body, lowercase_headers)``."""
+        conn = self._connection()
+        try:
+            body = json.dumps(payload).encode() if payload is not None else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            parsed = json.loads(raw) if raw else {}
+            return (response.status, parsed,
+                    {k.lower(): v for k, v in response.getheaders()})
+        finally:
+            conn.close()
+
+    # -- endpoints --------------------------------------------------------
+
+    def health(self) -> dict:
+        status, body, _ = self.request("GET", "/healthz")
+        body["_status"] = status
+        return body
+
+    def metrics(self) -> dict:
+        status, body, headers = self.request("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(status, body, headers)
+        return body
+
+    def rewrite(self, data: bytes, *, matcher: str = "jumps",
+                instrumentation: str | None = "empty",
+                options: dict | None = None,
+                frontend: str | None = None,
+                return_output: bool = True,
+                retries: int = 0) -> dict:
+        """Submit one rewrite; raises :class:`ServiceError` on failure.
+
+        ``retries`` > 0 retries *only* typed 429 overload rejections,
+        honouring the daemon's ``Retry-After`` hint — the client-side
+        half of the backpressure contract.
+        """
+        payload = {
+            "binary": base64.b64encode(data).decode(),
+            "matcher": matcher,
+            "instrumentation": instrumentation,
+            "options": options or {},
+            "return_output": return_output,
+        }
+        if frontend is not None:
+            payload["frontend"] = frontend
+        attempts = 0
+        while True:
+            status, body, headers = self.request("POST", "/rewrite", payload)
+            if status == 200:
+                return body
+            error = ServiceError(status, body, headers)
+            if status == 429 and attempts < retries:
+                attempts += 1
+                time.sleep(min(error.retry_after or 0.2, 2.0))
+                continue
+            raise error
+
+    def rewrite_bytes(self, data: bytes, **kwargs) -> bytes:
+        """Convenience: submit a rewrite, return the patched binary."""
+        body = self.rewrite(data, return_output=True, **kwargs)
+        return base64.b64decode(body["output"])
+
+    def wait_ready(self, timeout: float = 10.0,
+                   interval: float = 0.05) -> bool:
+        """Poll ``/healthz`` until the daemon answers (any status)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                self.health()
+                return True
+            except (OSError, http.client.HTTPException, json.JSONDecodeError):
+                time.sleep(interval)
+        return False

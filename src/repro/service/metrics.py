@@ -1,0 +1,72 @@
+"""Service-level metrics: request counters and latency quantiles.
+
+One :class:`ServiceMetrics` instance lives on the daemon's event loop
+and is only ever touched from loop-confined coroutines, so it needs no
+locking.  Latencies are kept in a bounded reservoir (most recent
+``window`` requests) from which p50/p95 are computed on demand — good
+enough for a ``/metrics`` endpoint without a histogram dependency.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted list; *q* is a
+    fraction in ``[0, 1]`` (0.95 for p95, not 95)."""
+    if not sorted_values:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"percentile q must be a fraction in [0, 1]: {q}")
+    rank = max(0, min(len(sorted_values) - 1,
+                      round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+class ServiceMetrics:
+    """Counters + latency reservoir for one daemon process."""
+
+    def __init__(self, window: int = 2048) -> None:
+        self.started = time.monotonic()
+        self.counters: dict[str, int] = {
+            "requests_total": 0,   # every HTTP request, any endpoint
+            "rewrites_total": 0,   # POST /rewrite accepted into the queue
+            "ok": 0,               # 200 rewrites
+            "rejected": 0,         # 429 queue-full rejections
+            "draining": 0,         # 503 rejections during shutdown
+            "timeouts": 0,         # 504 deadline misses
+            "bad_requests": 0,     # 400 malformed payloads
+            "rewrite_errors": 0,   # 422 PatchError-class failures
+            "internal_errors": 0,  # 500s
+        }
+        self._latencies: deque[float] = deque(maxlen=window)
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def observe_latency(self, seconds: float) -> None:
+        self._latencies.append(seconds)
+
+    def latency_summary(self) -> dict[str, float | int]:
+        values = sorted(self._latencies)
+        if not values:
+            return {"count": 0}
+        return {
+            "count": len(values),
+            "mean_s": round(sum(values) / len(values), 6),
+            "p50_s": round(percentile(values, 0.50), 6),
+            "p95_s": round(percentile(values, 0.95), 6),
+            "max_s": round(values[-1], 6),
+        }
+
+    def snapshot(self, **gauges) -> dict:
+        """JSON-ready metrics payload; *gauges* are live values the
+        server injects (queued, inflight, workers, queue_depth)."""
+        return {
+            "uptime_s": round(time.monotonic() - self.started, 3),
+            "counters": dict(self.counters),
+            "latency": self.latency_summary(),
+            "gauges": dict(gauges),
+        }

@@ -98,3 +98,147 @@ def test_get_refreshes_recency(tmp_path):
 
     assert cache.get("decode", "aa" * 32) == payload
     assert cache.get("decode", "bb" * 32) is None  # evicted instead
+
+
+class TestCacheConfig:
+    """Env resolution happens once, at config construction."""
+
+    def test_from_env_snapshots(self, monkeypatch, tmp_path):
+        from repro.core.cache import CACHE_MAX_MB_ENV, CacheConfig
+
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "a"))
+        monkeypatch.setenv(CACHE_MAX_MB_ENV, "7")
+        config = CacheConfig.from_env()
+        assert config.root == tmp_path / "a"
+        assert config.max_bytes == 7 * 1024 * 1024
+        # Later environment changes cannot move a live store.
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "b"))
+        store = ArtifactCache(config=config)
+        assert store.root == tmp_path / "a"
+
+    def test_arguments_beat_env(self, monkeypatch, tmp_path):
+        from repro.core.cache import CacheConfig
+
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env"))
+        config = CacheConfig.from_env(tmp_path / "arg", 1024)
+        assert config.root == tmp_path / "arg"
+        assert config.max_bytes == 1024
+
+    def test_unparsable_max_mb_falls_back(self, monkeypatch, tmp_path):
+        from repro.core.cache import (
+            CACHE_MAX_MB_ENV,
+            DEFAULT_MAX_BYTES,
+            CacheConfig,
+        )
+
+        monkeypatch.setenv(CACHE_MAX_MB_ENV, "lots")
+        assert CacheConfig.from_env(tmp_path).max_bytes == DEFAULT_MAX_BYTES
+
+
+class TestConcurrency:
+    """The store is shared by service worker threads by design."""
+
+    def test_fingerprint_computed_once_across_threads(self, monkeypatch,
+                                                      tmp_path):
+        import threading
+
+        import repro.core.cache as cache_mod
+
+        calls = []
+        barrier = threading.Barrier(8)
+
+        def slow_fingerprint():
+            calls.append(1)
+            return "f" * 64
+
+        monkeypatch.setattr(cache_mod, "compute_toolchain_fingerprint",
+                            slow_fingerprint)
+        store = ArtifactCache(tmp_path)
+        seen = []
+
+        def worker():
+            barrier.wait()
+            seen.append(store.fingerprint())
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert seen == ["f" * 64] * 8
+        assert len(calls) == 1  # the race resolved to a single computation
+
+    def test_concurrent_puts_same_key_are_serialized(self, tmp_path):
+        import threading
+
+        store = ArtifactCache(tmp_path)
+        key = "ab" * 32
+        barrier = threading.Barrier(6)
+
+        def worker():
+            barrier.wait()
+            store.put("decode", key, list(range(200)))
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert store.get("decode", key) == list(range(200))
+        assert store.stats.errors == 0
+        # Exactly one writer published; the rest deduplicated.
+        assert store.stats.stores == 1
+        assert store.stats.dedups == 5
+        entries = list((tmp_path / "decode").rglob("*.pkl"))
+        assert len(entries) == 1
+
+    def test_concurrent_mixed_traffic_is_safe(self, tmp_path):
+        import threading
+
+        store = ArtifactCache(tmp_path)
+        keys = [f"{i:02x}" * 32 for i in range(16)]
+        errors = []
+
+        def worker(offset):
+            try:
+                for i, key in enumerate(keys):
+                    if (i + offset) % 2 == 0:
+                        store.put("match", key, [i, offset])
+                    else:
+                        store.get("match", key)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(n,))
+                   for n in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert store.stats.errors == 0
+        for key in keys:
+            assert store.get("match", key) is not None
+
+    def test_latency_counters_accumulate(self, tmp_path):
+        store = ArtifactCache(tmp_path)
+        key = store.decode_key(b"\x90", "linear")
+        store.put("decode", key, [1])
+        store.get("decode", key)
+        stats = store.stats.as_dict()
+        assert stats["get_seconds"] > 0.0
+        assert stats["put_seconds"] > 0.0
+
+    def test_observer_receives_cache_counters(self, tmp_path):
+        from repro.core.observe import Observer
+
+        observer = Observer()
+        store = ArtifactCache(tmp_path, observer=observer)
+        key = store.decode_key(b"\x90", "linear")
+        store.get("decode", key)  # miss
+        store.put("decode", key, [1])
+        store.get("decode", key)  # hit
+        assert observer.counters["cache.misses"] == 1
+        assert observer.counters["cache.hits"] == 1
+        assert observer.counters["cache.stores"] == 1
+        assert "cache.get_us" in observer.counters

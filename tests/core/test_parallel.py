@@ -135,3 +135,51 @@ class TestParallel:
 
 def test_default_start_method_is_supported():
     assert default_start_method() in multiprocessing.get_all_start_methods()
+
+
+class TestExecutorConfig:
+    """Env resolution happens once, at config construction — never later."""
+
+    def test_from_env_snapshots_jobs(self, monkeypatch):
+        from repro.core.parallel import ExecutorConfig
+
+        monkeypatch.setenv(JOBS_ENV, "5")
+        config = ExecutorConfig.from_env()
+        assert config.jobs == 5
+        # A long-lived service keeps the snapshot even if the
+        # environment changes mid-flight.
+        monkeypatch.setenv(JOBS_ENV, "99")
+        assert config.jobs == 5
+        assert BatchExecutor(config).jobs == 5
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        from repro.core.parallel import ExecutorConfig
+
+        monkeypatch.setenv(JOBS_ENV, "5")
+        assert ExecutorConfig.from_env(jobs=2).jobs == 2
+
+    def test_nonpositive_means_one_per_cpu(self):
+        from repro.core.parallel import ExecutorConfig
+
+        assert ExecutorConfig.from_env(jobs=0).jobs == (os.cpu_count() or 1)
+
+    def test_executor_accepts_config(self):
+        from repro.core.parallel import ExecutorConfig
+
+        config = ExecutorConfig(jobs=3, cpu_count=8)
+        ex = BatchExecutor(config)
+        assert ex.jobs == 3
+        assert ex.cpu_count == 8
+        assert ex.config is config
+        assert ex.map(square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_config_is_immutable(self):
+        import dataclasses
+
+        import pytest
+
+        from repro.core.parallel import ExecutorConfig
+
+        config = ExecutorConfig(jobs=2)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.jobs = 4

@@ -133,13 +133,13 @@ class TestCacheRoundTrip:
 
         # A decoder/schema change produces a different fingerprint: the
         # old entries simply never match, no manual invalidation needed.
-        monkeypatch.setattr(cache_mod, "_fingerprint", "0" * 64)
+        monkeypatch.setattr(cache_mod, "compute_toolchain_fingerprint",
+                            lambda: "0" * 64)
         stale_obs = Observer()
         rewrite_many(data, [RewriteOptions(mode="loader")],
                      matcher="jumps", observer=stale_obs,
                      cache=ArtifactCache(tmp_path))
         assert stale_obs.runs("decode") == 1  # re-decoded from scratch
-        monkeypatch.setattr(cache_mod, "_fingerprint", None)
 
     def test_output_cache_skips_planning(self, tmp_path):
         data = make_binary()
