@@ -22,11 +22,15 @@ Comparison rules, by metric name:
   regression when a counter grows (``_runs``: the warm cache must keep
   reporting zero decode work) or a percentage shrinks (``_pct``).
 
-Metrics present on only one side are reported but never fail the gate,
-so adding a measurement does not require regenerating the baseline in
-the same commit.  CI runs this in the ``bench-gate`` job; the
-``bench-regression-ok`` PR label skips the job for intentional,
-reviewed slowdowns.
+Metrics present only in the current run are reported but never fail
+the gate, so adding a measurement does not require regenerating the
+baseline in the same commit.  Metrics present only in the *baseline*
+get a distinct ``missing-metric`` warning — a measurement that stops
+being reported can otherwise vanish without ever failing — and the
+``--strict`` flag turns those warnings into a failing gate (CI uses it
+so matrix cells and metrics cannot silently disappear).  CI runs this
+in the ``bench-gate`` job; the ``bench-regression-ok`` PR label skips
+the job for intentional, reviewed slowdowns.
 """
 
 from __future__ import annotations
@@ -100,6 +104,11 @@ def main(argv: list[str] | None = None) -> int:
         help="absolute seconds a timing must slow down by before the "
         "relative threshold applies (noise floor, default 0.05)",
     )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail when a baseline metric is missing from the current "
+        "run (instead of only warning)",
+    )
     args = parser.parse_args(argv)
 
     baseline = load(pathlib.Path(args.baseline))
@@ -108,12 +117,18 @@ def main(argv: list[str] | None = None) -> int:
     cur_metrics = current["metrics"]
 
     regressions = []
+    missing = []
     width = max((len(k) for k in base_metrics), default=10)
     print(f"bench gate: threshold {args.threshold:.0%}, "
           f"baseline host {baseline.get('host', {})}")
     for name in sorted(base_metrics):
         if name not in cur_metrics:
-            print(f"  {name.ljust(width)}  (missing in current run)")
+            # A metric present only in the baseline would otherwise read
+            # as "never fails": warn distinctly so it cannot vanish
+            # unnoticed, and fail under --strict.
+            print(f"  {name.ljust(width)}  WARN  missing-metric "
+                  "(in baseline, absent from current run)")
+            missing.append(name)
             continue
         regressed, verdict = compare_metric(
             name, base_metrics[name], cur_metrics[name],
@@ -126,10 +141,19 @@ def main(argv: list[str] | None = None) -> int:
     for name in sorted(set(cur_metrics) - set(base_metrics)):
         print(f"  {name.ljust(width)}  (new metric, not gated)")
 
-    if regressions:
-        print(f"\n{len(regressions)} metric(s) regressed past "
-              f"{args.threshold:.0%}: {', '.join(regressions)}",
+    failed = list(regressions)
+    if missing:
+        print(f"\nmissing-metric: {len(missing)} baseline metric(s) "
+              f"absent from the current run: {', '.join(missing)}"
+              + ("" if args.strict else " (warning; use --strict to fail)"),
               file=sys.stderr)
+        if args.strict:
+            failed.extend(missing)
+    if failed:
+        if regressions:
+            print(f"\n{len(regressions)} metric(s) regressed past "
+                  f"{args.threshold:.0%}: {', '.join(regressions)}",
+                  file=sys.stderr)
         print("If intentional, apply the 'bench-regression-ok' PR label "
               "or regenerate benchmarks/BENCH_passes.json.",
               file=sys.stderr)

@@ -38,12 +38,20 @@ from repro.service import ServiceClient, ServiceError
 from repro.synth.generator import SynthesisParams, synthesize
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
+LOG_PATH = REPO / "benchmarks" / "out" / "service_smoke.log"
 N_CONCURRENT = 50
 N_SITES = 60
 
 
 def fail(message: str) -> None:
     raise SystemExit(f"service_smoke: FAIL: {message}")
+
+
+def record(label: str, text: str) -> None:
+    """Append daemon output to the log CI uploads when the smoke fails."""
+    LOG_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with LOG_PATH.open("a") as fh:
+        fh.write(f"===== {label} =====\n{text or '(no output)'}\n")
 
 
 def make_binaries(n: int = 4) -> dict[int, bytes]:
@@ -71,6 +79,7 @@ def spawn_daemon(socket_path: pathlib.Path, *args: str,
     if not client.wait_ready(timeout=30):
         proc.kill()
         out = proc.communicate(timeout=10)[0]
+        record(f"daemon never ready ({socket_path.name})", out)
         fail(f"daemon never became ready; output:\n{out}")
     return proc
 
@@ -81,7 +90,9 @@ def terminate(proc: subprocess.Popen, *, expect_zero: bool = True) -> str:
         out = proc.communicate(timeout=60)[0]
     except subprocess.TimeoutExpired:
         proc.kill()
+        record("daemon ignored SIGTERM", proc.communicate()[0] or "")
         fail("daemon ignored SIGTERM for 60s")
+    record(f"daemon exit {proc.returncode}", out)
     if expect_zero and proc.returncode != 0:
         fail(f"daemon exited {proc.returncode} after SIGTERM; "
              f"output:\n{out}")
@@ -224,6 +235,9 @@ def phase_graceful_drain(tmp: pathlib.Path) -> None:
 
 
 def main() -> int:
+    # Start every run with a fresh daemon log; CI uploads it on failure.
+    LOG_PATH.parent.mkdir(parents=True, exist_ok=True)
+    LOG_PATH.write_text("")
     with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
         root = pathlib.Path(tmp)
         phase_concurrent_correctness(root)

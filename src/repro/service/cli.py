@@ -1,20 +1,27 @@
-"""``repro serve`` — run the rewrite daemon from the command line.
+"""``repro`` — operational entry points: the daemon and the eval matrix.
 
-Every flag maps onto one :class:`~repro.service.config.ServiceConfig`
-field; environment defaults (``REPRO_SERVICE_*``, ``$REPRO_JOBS``,
-``$REPRO_CACHE_DIR``) are resolved here, exactly once, before the
-event loop starts.  See ``docs/SERVICE.md`` and ``docs/CLI.md``.
+``repro serve`` runs the rewrite daemon: every flag maps onto one
+:class:`~repro.service.config.ServiceConfig` field; environment
+defaults (``REPRO_SERVICE_*``, ``$REPRO_JOBS``, ``$REPRO_CACHE_DIR``)
+are resolved here, exactly once, before the event loop starts.  See
+``docs/SERVICE.md`` and ``docs/CLI.md``.
+
+``repro matrix`` runs the cross-configuration evaluation matrix
+(:mod:`repro.eval.matrix`) and, when ``--baseline`` comparison is
+requested, the trend classifier (:mod:`repro.eval.trend`).  See
+``docs/EVAL.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import json
+import pathlib
 
 from repro.core.cache import CacheConfig
 from repro.core.parallel import ExecutorConfig
 from repro.service.config import ServiceConfig
-from repro.service.server import RewriteService
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,6 +85,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--frontend", default="linear", choices=("linear", "symbols"),
         help="default disassembly frontend (per-request override allowed)",
     )
+
+    matrix = sub.add_parser(
+        "matrix",
+        help="run the cross-configuration evaluation matrix",
+        description="Run evaluation-matrix cells (synthesis profiles x "
+        "patch configs x rewriter options) and optionally classify the "
+        "result against a committed baseline (see docs/EVAL.md).",
+    )
+    matrix.add_argument(
+        "--cells", default="pr", metavar="SPEC",
+        help="'pr', 'full', or comma-separated cell ids like "
+        "bzip2/full-jumps/serial (default: pr)",
+    )
+    matrix.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the repro-matrix/1 result JSON to PATH",
+    )
+    matrix.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="compare against the committed baseline and write the "
+        "markdown trend report to PATH",
+    )
+    matrix.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="baseline to classify against (default: "
+        "benchmarks/BENCH_matrix.json; implies a trend comparison)",
+    )
+    matrix.add_argument(
+        "--jobs", type=int, default=4, metavar="N",
+        help="worker count for parallel-combo cells (default 4)",
+    )
+    matrix.add_argument(
+        "--no-oracle", action="store_true",
+        help="skip the VM overhead oracle (drops vm_overhead_ratio)",
+    )
     return parser
 
 
@@ -108,15 +150,64 @@ def config_from_args(args: argparse.Namespace) -> ServiceConfig:
     return ServiceConfig.from_env(**overrides)
 
 
+def run_matrix_command(args: argparse.Namespace) -> int:
+    """``repro matrix``: run cells, optionally classify against a baseline."""
+    from repro.eval import trend
+    from repro.eval.matrix import parse_cells, run_matrix
+
+    cells = parse_cells(args.cells)
+    suite = args.cells if args.cells in ("pr", "full") else "custom"
+    print(f"evaluation matrix: {len(cells)} cell(s), suite {suite!r}")
+
+    def progress(index, total, result):
+        mark = "ok" if result.ok else f"FAIL ({result.verdict})"
+        print(f"  [{index + 1:3}/{total}] {result.cell.cell_id:<40} {mark}")
+
+    payload = run_matrix(cells, suite=suite, jobs=args.jobs,
+                         oracle=not args.no_oracle, progress=progress)
+    if args.json:
+        path = pathlib.Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+
+    failed = [cell_id for cell_id, cell in payload["cells"].items()
+              if cell["verdict"] not in ("ok", "unsupported")]
+    status = 0
+    if failed:
+        for cell_id in failed:
+            print(f"FAIL: cell {cell_id}: {payload['cells'][cell_id]['error']}")
+        status = 1
+
+    if args.report or args.baseline:
+        baseline_path = pathlib.Path(args.baseline or trend.DEFAULT_BASELINE)
+        report = trend.compare(payload, trend.load_matrix(baseline_path))
+        trend.print_console(report)
+        if args.report:
+            path = pathlib.Path(args.report)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(trend.render_markdown(report))
+            print(f"wrote {path}")
+        if report.regressed:
+            print(f"FAIL: {len(report.regressed)} cell(s) regressed vs "
+                  f"{baseline_path}")
+            status = 1
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "serve":
+        from repro.service.server import RewriteService
+
         service = RewriteService(config_from_args(args))
         try:
             asyncio.run(service.run())
         except KeyboardInterrupt:
             pass
         return 0
+    if args.command == "matrix":
+        return run_matrix_command(args)
     return 2
 
 
