@@ -1,0 +1,180 @@
+"""Conservative backward liveness over linearly decoded regions.
+
+The rewriter's trampolines save and restore every scratch register plus
+the flags because, without control-flow recovery, nothing is known about
+what the interrupted code still needs.  This pass recovers exactly
+enough to shrink those saves: for each instruction address, the set of
+registers and flags whose *current* value may still be consumed before
+being overwritten.  Anything provably dead at a patch site is free real
+estate for the instrumentation body.
+
+Soundness over precision, in three layers:
+
+* per-instruction facts come from :mod:`repro.analysis.facts`, whose
+  unknown fallback reads everything and kills nothing — an unknown
+  instruction therefore forces everything live across it;
+* control flow is resolved only where it is syntactically certain:
+  straight-line fall-through, direct ``jmp``, and the two-successor
+  union for ``jcc``/``loop``.  Every other flow (``call``, ``ret``,
+  indirect branches, ``syscall``, decode gaps) feeds the ⊤ live-out —
+  *everything live* — exactly like E9Patch's own no-CFG stance;
+* the fixpoint iterates **downward from ⊤** (all live) for a bounded
+  number of reverse passes.  Each update recomputes a live-in from
+  successor live-ins that over-approximate the least fixpoint, so every
+  intermediate state also over-approximates it: stopping after any
+  number of passes is sound, only precision is lost.  Two passes settle
+  acyclic fall-through chains (one to seed, one to propagate across
+  backward jumps); loops simply stay at ⊤, which is correct.
+
+Results are exposed per address through :meth:`LivenessAnalysis.at`, and
+the whole analysis is lazy: constructing one costs nothing until the
+first query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.facts import (
+    ALL_FLAGS,
+    ALL_REGS,
+    facts_for,
+    flag_mask_names,
+    reg_mask_names,
+)
+from repro.x86.insn import Instruction
+from repro.x86.tables import Flow
+
+__all__ = ["LivenessAnalysis", "SiteLiveness"]
+
+#: Number of reverse sweeps.  One pass settles pure fall-through; the
+#: second tightens across resolved backward branches.  More passes only
+#: refine loop bodies, which our conservative ⊤ join keeps live anyway.
+_DEFAULT_PASSES = 2
+
+
+@dataclass(frozen=True)
+class SiteLiveness:
+    """Live-in masks at one instruction address.
+
+    ``live_regs``/``live_flags`` are may-live: a set bit means the value
+    *might* still be needed.  The complementary ``dead_*`` masks are the
+    actionable ones — a dead register may be clobbered without saving.
+    """
+
+    address: int
+    live_regs: int = ALL_REGS
+    live_flags: int = ALL_FLAGS
+
+    @property
+    def dead_regs(self) -> int:
+        return ALL_REGS & ~self.live_regs
+
+    @property
+    def dead_flags(self) -> int:
+        return ALL_FLAGS & ~self.live_flags
+
+    def reg_is_dead(self, reg: int) -> bool:
+        return not self.live_regs >> reg & 1
+
+    def flags_are_dead(self, mask: int) -> bool:
+        """True when every flag in *mask* is provably dead."""
+        return not self.live_flags & mask
+
+    def describe(self) -> str:
+        regs = reg_mask_names(self.dead_regs) or ["-"]
+        flags = flag_mask_names(self.dead_flags) or ["-"]
+        return (f"dead regs: {', '.join(regs)}; "
+                f"dead flags: {', '.join(flags)}")
+
+
+#: The ⊤ answer handed out for addresses outside the analyzed region.
+_TOP = SiteLiveness(address=0)
+
+
+class LivenessAnalysis:
+    """Backward liveness over one decoded instruction sequence.
+
+    The instruction list is the decoder's linear output for a region;
+    instructions must be address-sorted (the decoder guarantees this).
+    The fixpoint arrays are computed lazily on the first :meth:`at`.
+    """
+
+    def __init__(self, instructions: list[Instruction],
+                 passes: int = _DEFAULT_PASSES) -> None:
+        self._instructions = instructions
+        self._passes = passes
+        self._live: dict[int, tuple[int, int]] | None = None
+
+    # -- queries -----------------------------------------------------------
+
+    def at(self, address: int) -> SiteLiveness:
+        """Live-in masks at *address* (⊤ for unanalyzed addresses)."""
+        if self._live is None:
+            self._live = self._solve()
+        masks = self._live.get(address)
+        if masks is None:
+            return SiteLiveness(address=address)
+        return SiteLiveness(address=address, live_regs=masks[0],
+                            live_flags=masks[1])
+
+    # -- fixpoint ----------------------------------------------------------
+
+    def _solve(self) -> dict[int, tuple[int, int]]:
+        insns = self._instructions
+        n = len(insns)
+        if n == 0:
+            return {}
+
+        index_of = {insn.address: i for i, insn in enumerate(insns)}
+        facts = [facts_for(insn) for insn in insns]
+
+        # Successor shape per instruction, precomputed once:
+        #   None          -> ⊤ live-out (unknown / unresolved flow)
+        #   (i,)          -> single successor index
+        #   (i, j)        -> jcc/loop: union of both successor live-ins
+        succs: list[tuple[int, ...] | None] = [None] * n
+        for i, insn in enumerate(insns):
+            flow = insn.flow
+            if flow == Flow.NONE:
+                nxt = index_of.get(insn.end)
+                succs[i] = None if nxt is None else (nxt,)
+            elif flow == Flow.JMP:
+                tgt = index_of.get(insn.target)
+                succs[i] = None if tgt is None else (tgt,)
+            elif flow in (Flow.JCC, Flow.LOOP):
+                nxt = index_of.get(insn.end)
+                tgt = index_of.get(insn.target)
+                if nxt is None or tgt is None:
+                    succs[i] = None
+                else:
+                    succs[i] = (nxt, tgt)
+            # CALL / RET / GROUP5 / SYSCALL / INT3 / INT / HLT: leave None.
+
+        live_regs = [ALL_REGS] * n
+        live_flags = [ALL_FLAGS] * n
+        for _ in range(self._passes):
+            changed = False
+            for i in range(n - 1, -1, -1):
+                succ = succs[i]
+                if succ is None:
+                    out_regs, out_flags = ALL_REGS, ALL_FLAGS
+                else:
+                    out_regs = out_flags = 0
+                    for s in succ:
+                        out_regs |= live_regs[s]
+                        out_flags |= live_flags[s]
+                f = facts[i]
+                in_regs = (out_regs & ~f.regs_killed) | f.regs_read
+                in_flags = (out_flags & ~f.flags_killed) | f.flags_read
+                if in_regs != live_regs[i] or in_flags != live_flags[i]:
+                    live_regs[i] = in_regs
+                    live_flags[i] = in_flags
+                    changed = True
+            if not changed:
+                break
+
+        return {
+            insn.address: (live_regs[i], live_flags[i])
+            for i, insn in enumerate(insns)
+        }

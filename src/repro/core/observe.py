@@ -164,6 +164,11 @@ def derive_throughput(
               + counters.get("emit.alloc_span_visits", 0))
     if visits:
         out["alloc_span_visits"] = visits
+    saved_bytes = counters.get("plan.trampoline_saved_bytes", 0)
+    saved_regs = counters.get("plan.trampoline_saved_regs", 0)
+    if saved_bytes or saved_regs:
+        out["trampoline_saved_bytes"] = saved_bytes
+        out["trampoline_saved_regs"] = saved_regs
     return out
 
 

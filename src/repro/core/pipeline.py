@@ -41,6 +41,7 @@ from repro.core.strategy import (
     patch_all,
 )
 from repro.core.tactics import Tactic, TacticContext
+from repro.analysis.liveness import LivenessAnalysis
 from repro.core.trampoline import Trampoline
 from repro.elf import constants as elfc
 from repro.elf.dynamic import find_init_target, retarget_init
@@ -83,6 +84,13 @@ class RewriteOptions:
     # Run EquivalencePass after VerifyPass: execute original and output
     # on the VM and compare observable behaviour (see repro.check).
     check: bool = False
+    # Bind a backward-liveness analysis (repro.analysis.liveness) to every
+    # instrumentation body before planning, letting trampolines drop
+    # save/restore pairs at sites where registers/flags are provably dead.
+    liveness: bool = False
+    # Run LintPass after emission: statically re-derive and check the
+    # rewrite's invariants (repro.analysis.lint); errors raise PatchError.
+    lint: bool = False
 
     def resolve_mode(self) -> str:
         if self.mode != "auto":
@@ -109,6 +117,9 @@ class RewriteResult:
     # EquivalencePass product, when RewriteOptions(check=True) ran
     # (a repro.check.oracle.EquivalenceReport).
     equivalence: object | None = None
+    # LintPass product, when RewriteOptions(lint=True) ran
+    # (a repro.analysis.lint.LintReport).
+    lint: object | None = None
 
     @property
     def output_size(self) -> int:
@@ -160,6 +171,17 @@ class RewriteContext:
     # EquivalencePass product (a repro.check.oracle.EquivalenceReport;
     # typed loosely to keep repro.check out of the pipeline's imports).
     equivalence: object | None = None
+    # LintPass product (a repro.analysis.lint.LintReport; loosely typed
+    # for the same reason).
+    lint: object | None = None
+    # Block-aligned metadata allocations (phdr table, loader stub) as
+    # (vaddr, size) — recorded so the linter can prove no trampoline
+    # shares a block with them.
+    meta_segments: list[tuple[int, int]] = field(default_factory=list)
+    # Loader-mode trampoline placement as (vaddr, size, file_offset):
+    # where each mapped block's bytes live in the *output file*, which no
+    # PT_LOAD filesz covers (the loader stub mmaps them at runtime).
+    blob_maps: list[tuple[int, int, int]] = field(default_factory=list)
 
     # -- workspace construction -----------------------------------------
 
@@ -221,6 +243,9 @@ class RewriteContext:
         binary (e.g. for instrumentation counters); returns its vaddr."""
         self.prepare_workspace()
         vaddr = self.allocate_exclusive(size)
+        # Reclassify: allocate_exclusive records every block as metadata,
+        # but this one is instrumentation data (lint tracks them apart).
+        self.meta_segments.pop()
         self.data_segments.append((vaddr, size))
         return vaddr
 
@@ -238,6 +263,7 @@ class RewriteContext:
         vaddr = self.space.allocate(lo, hi, size, tag="meta", align=block)
         if vaddr is None:
             raise PatchError("no space for metadata segment")
+        self.meta_segments.append((vaddr, size))
         return vaddr
 
     def result(self) -> RewriteResult:
@@ -256,6 +282,7 @@ class RewriteContext:
             timings=dict(self.observer.timings),
             counters=dict(self.observer.counters),
             equivalence=self.equivalence,
+            lint=self.lint,
         )
 
 
@@ -345,6 +372,14 @@ class PlanPass(PipelinePass):
                 "requests, or set ctx.requests)"
             )
         ctx.requests = requests
+        if ctx.options.liveness:
+            # Bind before any size query: the planner memoizes trampoline
+            # sizes, so the slimmed encodings must be in force from the
+            # first probe.
+            analysis = LivenessAnalysis(ctx.instructions or [])
+            for req in requests:
+                if req.instrumentation is not None:
+                    req.instrumentation.bind_liveness(analysis)
         probes_before = ctx.space.probes
         visits_before = ctx.space.span_visits
         pw_hits_before = ctx.tactics.pw_hits
@@ -364,6 +399,20 @@ class PlanPass(PipelinePass):
         obs.count("plan.pun_cache_hits", ctx.tactics.pw_hits - pw_hits_before)
         obs.count("plan.pun_cache_misses",
                   ctx.tactics.pw_misses - pw_misses_before)
+        if ctx.options.liveness:
+            by_site = {req.insn.address: req for req in requests}
+            saved_bytes = saved_regs = 0
+            for patch in ctx.plan.patches:
+                if patch.tactic == Tactic.B0:
+                    continue  # no trampoline to slim
+                req = by_site.get(patch.site)
+                if req is None or req.instrumentation is None:
+                    continue
+                nbytes, nregs = req.instrumentation.saved_cost(req.insn)
+                saved_bytes += nbytes
+                saved_regs += nregs
+            obs.count("plan.trampoline_saved_bytes", saved_bytes)
+            obs.count("plan.trampoline_saved_regs", saved_regs)
 
 
 class GroupPass(PipelinePass):
@@ -482,6 +531,7 @@ class EmitPass(PipelinePass):
             Mapping(vaddr=block_base, size=block_size, offset=group_offsets[gi])
             for block_base, gi in grouping.mappings()
         ]
+        ctx.blob_maps = [(m.vaddr, m.size, m.offset) for m in mappings]
         ctx.pending_reservation = [m for m in mappings if m.vaddr >= 0]
 
         if ctx.options.shared and find_init_target(ctx.elf) is not None:
@@ -675,12 +725,18 @@ def standard_passes(
     frontend: str = "linear",
     verify: bool = False,
     check: bool = False,
+    lint: bool = False,
 ) -> list[Pass]:
     """The canonical pass sequence for one rewrite configuration."""
     passes: list[Pass] = [DecodePass(frontend)]
     if matcher is not None:
         passes.append(MatchPass(matcher))
     passes += [PlanPass(requests), GroupPass(), EmitPass()]
+    if lint:
+        # Local import: the lint layer imports this module back.
+        from repro.analysis.lint import LintPass
+
+        passes.append(LintPass())
     if verify:
         passes.append(VerifyPass())
     if check:

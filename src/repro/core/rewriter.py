@@ -116,6 +116,10 @@ class Rewriter:
     def emit(self, plan: PatchPlan) -> RewriteResult:
         self.context.plan = plan
         passes = [GroupPass(), EmitPass()]
+        if self.options.lint:
+            from repro.analysis.lint import LintPass
+
+            passes.append(LintPass())
         if self.options.verify:
             passes.append(VerifyPass())
         if self.options.check:

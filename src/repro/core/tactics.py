@@ -290,7 +290,7 @@ def try_direct(
             tactic = Tactic.T1
         return SitePatch(
             site=insn.address, tactic=tactic,
-            trampolines=[Trampoline(vaddr=t, code=code, tag="patch")],
+            trampolines=[Trampoline(vaddr=t, code=code, tag=tag)],
         )
     return None
 
@@ -334,7 +334,8 @@ def try_successor_eviction(
                 break
             _emit_jump(tx, s_window, t_evict)
             tx.add_trampoline(
-                Trampoline(vaddr=t_evict, code=evict_code, tag="evictee")
+                Trampoline(vaddr=t_evict, code=evict_code,
+                           tag=f"evictee@{succ.address:#x}")
             )
             window = _try_jump_to_new_trampoline(
                 ctx, tx, insn.address, insn.end, insn, instr,

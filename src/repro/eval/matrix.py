@@ -74,6 +74,11 @@ class PatchConfigSpec:
     name: str
     matcher: str = "jumps"
     options: RewriteOptions = field(default_factory=lambda: RewriteOptions(mode="loader"))
+    #: Named instrumentation body ("counter") or None for empty
+    #: trampolines; the ``*-slim`` configs pair a real body with
+    #: liveness-driven save/restore elision so ``vm_overhead_ratio``
+    #: exposes the slimming win.
+    instrumentation: str | None = None
 
 
 @dataclass(frozen=True)
@@ -103,6 +108,18 @@ PATCH_CONFIGS: dict[str, PatchConfigSpec] = {
             RewriteOptions(mode="loader", toggles=TacticToggles(t1=False, t2=False, t3=False)),
         ),
         PatchConfigSpec("g16-writes", "heap-writes", RewriteOptions(mode="loader", granularity=16)),
+        PatchConfigSpec(
+            "counter-jumps",
+            "jumps",
+            RewriteOptions(mode="loader"),
+            instrumentation="counter",
+        ),
+        PatchConfigSpec(
+            "counter-jumps-slim",
+            "jumps",
+            RewriteOptions(mode="loader", liveness=True),
+            instrumentation="counter",
+        ),
     )
 }
 
@@ -125,7 +142,13 @@ PR_PROFILES: tuple[str, ...] = ("bzip2", "vim", "FireFox")
 FULL_PROFILES: tuple[str, ...] = ("bzip2", "gcc", "vim", "xterm", "FireFox")
 
 PR_PATCH_CONFIGS: tuple[str, ...] = ("full-jumps",)
-FULL_PATCH_CONFIGS: tuple[str, ...] = ("full-jumps", "baseline-jumps", "g16-writes")
+FULL_PATCH_CONFIGS: tuple[str, ...] = (
+    "full-jumps",
+    "baseline-jumps",
+    "g16-writes",
+    "counter-jumps",
+    "counter-jumps-slim",
+)
 
 PR_COMBOS: tuple[str, ...] = ("serial", "parallel", "cached", "checked")
 FULL_COMBOS: tuple[str, ...] = (
@@ -159,12 +182,24 @@ class MatrixCell:
         return OPTION_COMBOS[self.combo]
 
 
+#: The PR suite carries the counter configs as serial-only extra cells
+#: (the unslim/slim pair per profile is what the trend gate watches for
+#: the liveness win); the full suite sweeps them across every combo.
+PR_EXTRA_CONFIGS: tuple[str, ...] = ("counter-jumps", "counter-jumps-slim")
+
+
 def cells_for(suite: str) -> list[MatrixCell]:
     """The declarative cell list for a named suite (``pr`` or ``full``)."""
     if suite == "pr":
         axes = (PR_PROFILES, PR_PATCH_CONFIGS, PR_COMBOS)
+        extra = [
+            MatrixCell(p, c, "serial")
+            for p in PR_PROFILES
+            for c in PR_EXTRA_CONFIGS
+        ]
     elif suite == "full":
         axes = (FULL_PROFILES, FULL_PATCH_CONFIGS, FULL_COMBOS)
+        extra = []
     else:
         raise ValueError(f"unknown suite {suite!r} (expected 'pr' or 'full')")
     profiles, configs, combos = axes
@@ -173,7 +208,7 @@ def cells_for(suite: str) -> list[MatrixCell]:
         for p in profiles
         for c in configs
         for o in combos
-    ]
+    ] + extra
 
 
 def parse_cells(spec: str) -> list[MatrixCell]:
@@ -279,7 +314,12 @@ def _measure_oracle(cell: MatrixCell, metrics: dict) -> str:
 
     spec = cell.spec
     binary = synthesize(oracle_params(cell.profile))
-    report = instrument_elf(binary.data, spec.matcher, options=spec.options)
+    report = instrument_elf(
+        binary.data,
+        spec.matcher,
+        instrumentation=spec.instrumentation,
+        options=spec.options,
+    )
     oracle = check_rewrite(
         binary.data,
         report.result.data,
@@ -316,7 +356,9 @@ def _measure_workload(
     spec = cell.spec
     combo = cell.options
     metrics: dict[str, float | int] = {}
-    options = replace(spec.options, check=combo.check)
+    # Every workload rewrite runs under the static linter: lint_errors is
+    # a correctness metric (expected 0 — a LintError fails the cell).
+    options = replace(spec.options, check=combo.check, lint=True)
     binary = synthesize(workload_params(cell.profile, max_sites=max_sites))
     metrics["input_bytes"] = len(binary.data)
 
@@ -332,6 +374,7 @@ def _measure_workload(
                 binary.data,
                 _parallel_batch(options),
                 matcher=spec.matcher,
+                instrumentation=spec.instrumentation,
                 observer=observer,
                 jobs=engine.config.executor,
                 cache=engine.store,
@@ -343,6 +386,7 @@ def _measure_workload(
             report = engine.rewrite(
                 binary.data,
                 matcher=spec.matcher,
+                instrumentation=spec.instrumentation,
                 options=options,
                 observer=observer,
             )
@@ -368,8 +412,13 @@ def _measure_workload(
     metrics["succ_pct"] = round(stats.success_pct, 3)
     metrics["b0_pct"] = round(stats.b0_pct, 3)
     metrics["size_pct"] = round(report.result.size_pct, 3)
+    metrics["trampoline_bytes"] = sum(
+        len(t.code) for t in report.result.trampolines
+    )
+    metrics["lint_errors"] = observer.counters.get("lint.errors", 0)
     throughput = observer.throughput()
-    for name in ("decode_mb_s", "plan_sites_s"):
+    for name in ("decode_mb_s", "plan_sites_s",
+                 "trampoline_saved_bytes", "trampoline_saved_regs"):
         if name in throughput:
             metrics[name] = throughput[name]
     if combo.check and report.result.equivalence is not None:

@@ -43,7 +43,7 @@ __all__ = ["EngineConfig", "RewriteEngine", "options_from_dict"]
 _OPTION_KEYS = frozenset({
     "mode", "grouping", "granularity", "guard_pages", "shared",
     "library_path", "pack_allocations", "verify", "check",
-    "t1", "t2", "t3", "b0",
+    "liveness", "lint", "t1", "t2", "t3", "b0",
 })
 
 
@@ -76,6 +76,8 @@ def options_from_dict(params: dict) -> RewriteOptions:
         pack_allocations=bool(params.get("pack_allocations", False)),
         verify=bool(params.get("verify", False)),
         check=bool(params.get("check", False)),
+        liveness=bool(params.get("liveness", False)),
+        lint=bool(params.get("lint", False)),
         toggles=toggles,
     )
 

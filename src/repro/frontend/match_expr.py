@@ -11,14 +11,28 @@ Grammar::
     or         := and ("or" and)*
     and        := not ("and" not)*
     not        := "not" not | primary
-    primary    := "(" expr ")" | comparison | bareword
+    primary    := "(" expr ")" | comparison | regtest | bareword
     comparison := field cmp value
-    field      := "mnemonic" | "size" | "addr" | "opcode" | "target"
+    field      := "mnemonic" | "size" | "addr" | "opcode" | "target" |
+                  "mem-width"
+    regtest    := ("reads" | "writes" | "kills") register
+    register   := rax | rcx | rdx | rbx | rsp | rbp | rsi | rdi | r8..r15
     cmp        := "==" | "!=" | "<" | "<=" | ">" | ">=" | "=~"
     value      := integer (decimal or 0x...) | "string" | /regex/
     bareword   := jumps | heap-writes | calls | all | jcc | jmp | ret |
                   call | mem-write | mem-read | rip-relative |
-                  direct-branch | indirect-branch
+                  direct-branch | indirect-branch |
+                  defines-flags | uses-flags | preserves-flags |
+                  mem-stack | mem-global | mem-heap
+
+The second block of primaries queries the semantic-fact engine
+(:mod:`repro.analysis.facts`).  Register tests use may-sets, so an
+instruction the fact tables cannot classify matches every ``reads``/
+``writes`` test (conservative over-approximation); ``preserves-flags``
+is the dual — it only matches instructions *known* to leave every
+status flag untouched.  ``mem-width`` is the memory operand's access
+width in bytes (comparisons are false for instructions without a
+classified memory operand).
 
 Examples::
 
@@ -26,6 +40,8 @@ Examples::
     jumps or mnemonic =~ /loop.*/
     mem-write and not rip-relative
     addr >= 0x401000 and addr < 0x402000
+    writes rdi and not defines-flags
+    mem-stack and mem-width >= 8
 """
 
 from __future__ import annotations
@@ -34,9 +50,10 @@ import re
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.analysis.facts import facts_for
 from repro.errors import ReproError
 from repro.x86.flow import is_heap_write, is_memory_write, is_patchable_jump
-from repro.x86.insn import Instruction
+from repro.x86.insn import REG_NAMES_64, Instruction
 from repro.x86.tables import Flow
 
 
@@ -129,6 +146,7 @@ _FIELDS: dict[str, Callable[[Instruction], object]] = {
     "addr": lambda i: i.address,
     "opcode": lambda i: i.opcode,
     "target": lambda i: i.target,
+    "mem-width": lambda i: facts_for(i).mem_width,
 }
 
 _NUMERIC_CMPS = {
@@ -175,7 +193,36 @@ _BAREWORDS: dict[str, Callable[[Instruction], bool]] = {
     "rip-relative": lambda i: i.rip_relative,
     "direct-branch": lambda i: i.is_direct_branch,
     "indirect-branch": lambda i: i.is_indirect_jump or i.is_indirect_call,
+    # Fact-engine barewords.  May-sets for defines/uses (unknown
+    # instructions match); the known bit gates preserves-flags and the
+    # memory classes (unknown instructions never match those).
+    "defines-flags": lambda i: facts_for(i).flags_written != 0,
+    "uses-flags": lambda i: facts_for(i).flags_read != 0,
+    "preserves-flags": lambda i: facts_for(i).preserves_flags,
+    "mem-stack": lambda i: facts_for(i).mem_class == "stack",
+    "mem-global": lambda i: facts_for(i).mem_class == "global",
+    "mem-heap": lambda i: facts_for(i).mem_class == "heap",
 }
+
+_REG_PREDICATES = ("reads", "writes", "kills")
+
+_REG_INDEX = {name: idx for idx, name in enumerate(REG_NAMES_64)}
+
+
+@dataclass(frozen=True)
+class RegTest(Node):
+    pred: str  # "reads" | "writes" | "kills"
+    reg: int  # register index into the fact masks
+
+    def evaluate(self, insn: Instruction) -> bool:
+        facts = facts_for(insn)
+        if self.pred == "reads":
+            mask = facts.regs_read
+        elif self.pred == "writes":
+            mask = facts.regs_written
+        else:
+            mask = facts.regs_killed
+        return bool((mask >> self.reg) & 1)
 
 
 @dataclass(frozen=True)
@@ -248,12 +295,23 @@ class _Parser:
             return node
         if token.kind == "word":
             self.take()
+            if token.text in _REG_PREDICATES:
+                return self.parse_regtest(token.text)
             if token.text in _FIELDS:
                 return self.parse_comparison(token.text)
             if token.text in _BAREWORDS:
                 return Bareword(token.text)
             raise MatchExprError(f"unknown name {token.text!r}")
         raise MatchExprError(f"unexpected token {token.text!r}")
+
+    def parse_regtest(self, pred: str) -> Node:
+        token = self.take()
+        if token.kind != "word" or token.text not in _REG_INDEX:
+            raise MatchExprError(
+                f"{pred} expects a 64-bit register name, "
+                f"found {token.text!r}"
+            )
+        return RegTest(pred, _REG_INDEX[token.text])
 
     def parse_comparison(self, field: str) -> Node:
         op = self.expect("cmp").text

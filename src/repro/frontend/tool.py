@@ -28,6 +28,7 @@ import json
 import sys
 from dataclasses import dataclass, replace
 
+from repro.analysis.lint import LintError
 from repro.core.cache import ArtifactStore
 from repro.core.grouping import DEFAULT_MAX_MAP_COUNT
 from repro.core.observe import Observer, derive_throughput, stderr_trace_hook
@@ -524,6 +525,19 @@ def main(argv: list[str] | None = None) -> int:
         "and check its jump target",
     )
     parser.add_argument(
+        "--liveness", action=argparse.BooleanOptionalAction, default=False,
+        help="liveness-driven trampoline slimming: drop register/flag "
+        "save-restore pairs the backward analysis proves dead at each "
+        "patch site (default: off)",
+    )
+    parser.add_argument(
+        "--lint", action="store_true",
+        help="run the rewrite-plan linter after emission: statically "
+        "re-derive site jump chains, trampoline layout/image bytes, "
+        "replay equivalence, and jump-back targets (exit 1 on any "
+        "error finding; see docs/ANALYSIS.md)",
+    )
+    parser.add_argument(
         "--check", action="store_true",
         help="run the semantic-equivalence oracle: execute original and "
         "rewritten binaries on the built-in VM and compare behaviour, "
@@ -607,6 +621,8 @@ def main(argv: list[str] | None = None) -> int:
         shared=args.shared,
         library_path=library_path,
         verify=args.verify,
+        liveness=args.liveness,
+        lint=args.lint,
     )
     with open(args.input, "rb") as f:
         data = f.read()
@@ -652,16 +668,22 @@ def main(argv: list[str] | None = None) -> int:
             jobs=args.jobs, cache=cache,
         )[0]
 
-    if args.profile is not None:
-        import cProfile
-        import pstats
+    try:
+        if args.profile is not None:
+            import cProfile
+            import pstats
 
-        profiler = cProfile.Profile()
-        report = profiler.runcall(run)
-        stats = pstats.Stats(profiler, stream=sys.stderr)
-        stats.sort_stats("cumulative").print_stats(max(1, args.profile))
-    else:
-        report = run()
+            profiler = cProfile.Profile()
+            report = profiler.runcall(run)
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative").print_stats(max(1, args.profile))
+        else:
+            report = run()
+    except LintError as exc:
+        for finding in exc.report.findings:
+            print(f"  {finding}", file=sys.stderr)
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     if report.counter_vaddr is not None and not args.json:
         print(f"counter at {report.counter_vaddr:#x}")
     if args.stats_json:

@@ -10,6 +10,11 @@ are resolved here, exactly once, before the event loop starts.  See
 (:mod:`repro.eval.matrix`) and, when ``--baseline`` comparison is
 requested, the trend classifier (:mod:`repro.eval.trend`).  See
 ``docs/EVAL.md``.
+
+``repro lint`` rewrites each input binary with the rewrite-plan linter
+enabled (:mod:`repro.analysis.lint`) and reports its typed findings;
+any error-severity finding makes the exit status nonzero.  See
+``docs/ANALYSIS.md``.
 """
 
 from __future__ import annotations
@@ -120,6 +125,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-oracle", action="store_true",
         help="skip the VM overhead oracle (drops vm_overhead_ratio)",
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically lint a rewrite of each input binary",
+        description="Rewrite each input ELF with the given matcher and "
+        "instrumentation, then statically re-derive the emitted "
+        "invariants: patch-site jump chains, trampoline layout and "
+        "image bytes, displaced-instruction replay equivalence, and "
+        "jump-back targets.  Error findings exit nonzero.",
+    )
+    lint.add_argument(
+        "inputs", nargs="+", metavar="ELF",
+        help="input binaries to rewrite and lint",
+    )
+    lint.add_argument(
+        "-M", "--match", default="all", metavar="EXPR",
+        help="patch-site matcher name or expression (default: all)",
+    )
+    lint.add_argument(
+        "-I", "--instrument", default="counter",
+        choices=("empty", "counter"),
+        help="instrumentation to rewrite with (default: counter)",
+    )
+    lint.add_argument(
+        "--mode", default="auto", choices=("auto", "phdr", "loader"),
+        help="emission mode (default: auto)",
+    )
+    lint.add_argument(
+        "--liveness", action=argparse.BooleanOptionalAction, default=True,
+        help="liveness-driven trampoline slimming (default: on); the "
+        "linter checks the slimmed trampolines",
+    )
+    lint.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write per-input finding reports as JSON to PATH",
+    )
+    lint.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="only print failures",
+    )
     return parser
 
 
@@ -195,6 +240,58 @@ def run_matrix_command(args: argparse.Namespace) -> int:
     return status
 
 
+def run_lint_command(args: argparse.Namespace) -> int:
+    """``repro lint``: rewrite inputs with the linter on, report findings."""
+    from repro.analysis.lint import LintError
+    from repro.core.pipeline import RewriteOptions
+    from repro.errors import ReproError
+    from repro.frontend.tool import instrument_elf
+
+    options = RewriteOptions(mode=args.mode, lint=True,
+                             liveness=args.liveness)
+    results: dict[str, dict] = {}
+    status = 0
+    for name in args.inputs:
+        path = pathlib.Path(name)
+        try:
+            data = path.read_bytes()
+            try:
+                report = instrument_elf(
+                    data, args.match, instrumentation=args.instrument,
+                    options=options,
+                ).result.lint
+            except LintError as exc:
+                report = exc.report
+        except (OSError, ReproError) as exc:
+            print(f"{name}: FAIL ({type(exc).__name__}: {exc})")
+            results[name] = {"ok": False, "error": str(exc)}
+            status = 1
+            continue
+        results[name] = report.to_dict()
+        if report.ok:
+            if not args.quiet:
+                print(f"{name}: ok ({report.sites_checked} sites, "
+                      f"{report.trampolines_checked} trampolines, "
+                      f"{len(report.warnings)} warning(s))")
+                for finding in report.warnings:
+                    print(f"  {finding}")
+        else:
+            status = 1
+            print(f"{name}: FAIL ({len(report.errors)} error(s))")
+            for finding in report.findings:
+                print(f"  {finding}")
+    if args.json:
+        out = pathlib.Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(
+            {"schema": "repro-lint/1", "inputs": results},
+            indent=2, sort_keys=True,
+        ) + "\n")
+        if not args.quiet:
+            print(f"wrote {out}")
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "serve":
@@ -208,6 +305,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "matrix":
         return run_matrix_command(args)
+    if args.command == "lint":
+        return run_lint_command(args)
     return 2
 
 

@@ -1,0 +1,195 @@
+"""Semantic-fact engine: golden per-encoding register/flag/memory facts."""
+
+from repro.analysis.facts import (
+    ALL_FLAGS,
+    ALL_REGS,
+    CF,
+    DF,
+    OF,
+    STATUS_FLAGS,
+    ZF,
+    InsnFacts,
+    facts_for,
+    flag_mask_names,
+    is_endbr64,
+    reg_mask_names,
+)
+from repro.x86.decoder import decode
+
+RAX, RCX, RDX, RBX, RSP, RBP, RSI, RDI = range(8)
+R8, R9, R10, R11 = 8, 9, 10, 11
+
+
+def f(hexstr: str, address: int = 0x401000) -> InsnFacts:
+    return facts_for(decode(bytes.fromhex(hexstr.replace(" ", "")),
+                            address=address))
+
+
+def bit(reg: int) -> int:
+    return 1 << reg
+
+
+class TestRegisterFacts:
+    def test_mov_reg64_kills_destination(self):
+        facts = f("48 89 c3")  # mov rbx, rax
+        assert facts.known
+        assert facts.reads_reg(RAX)
+        assert facts.writes_reg(RBX)
+        assert facts.kills_reg(RBX)
+        assert not facts.writes_reg(RAX)
+
+    def test_mov_reg32_zero_extends_and_kills(self):
+        facts = f("89 c3")  # mov ebx, eax
+        assert facts.kills_reg(RBX)
+
+    def test_mov_reg8_writes_but_does_not_kill(self):
+        facts = f("88 c3")  # mov bl, al
+        assert facts.writes_reg(RBX)
+        assert not facts.kills_reg(RBX)
+
+    def test_high_byte_registers_alias_low_gprs(self):
+        # mov ah, al: operand number 4 without REX is AH, aliasing rax,
+        # not rsp.
+        facts = f("88 c4")
+        assert facts.writes_reg(RAX)
+        assert not facts.writes_reg(RSP)
+
+    def test_xor_self_kills(self):
+        facts = f("48 31 db")  # xor rbx, rbx
+        assert facts.kills_reg(RBX)
+        assert facts.flags_written & STATUS_FLAGS
+
+    def test_push_reads_and_adjusts_rsp(self):
+        facts = f("50")  # push rax
+        assert facts.reads_reg(RAX)
+        assert facts.writes_reg(RSP)
+        assert facts.mem_class == "stack"
+        assert facts.mem_write
+
+    def test_lea_reads_address_registers_without_memory(self):
+        facts = f("48 8d 04 1e")  # lea rax, [rsi+rbx]
+        assert facts.reads_reg(RSI)
+        assert facts.reads_reg(RBX)
+        assert facts.mem_class is None
+        assert facts.preserves_flags
+
+    def test_mul_byte_form_touches_only_rax(self):
+        facts = f("f6 e3")  # mul bl
+        assert facts.writes_reg(RAX)
+        assert not facts.writes_reg(RDX)
+
+    def test_mul_word_form_writes_rdx(self):
+        facts = f("48 f7 e3")  # mul rbx
+        assert facts.writes_reg(RDX)
+
+    def test_shift_by_cl_reads_rcx(self):
+        facts = f("48 d3 e0")  # shl rax, cl
+        assert facts.reads_reg(RCX)
+
+    def test_rex_b_90_is_xchg_not_nop(self):
+        facts = f("49 90")  # xchg rax, r8
+        assert facts.writes_reg(RAX)
+        assert facts.writes_reg(R8)
+
+    def test_plain_nop_has_no_effects(self):
+        facts = f("90")
+        assert facts.known
+        assert facts.regs_written == 0
+        assert facts.flags_written == 0
+
+    def test_cmovcc_writes_without_killing(self):
+        facts = f("48 0f 44 c3")  # cmove rax, rbx
+        assert facts.writes_reg(RAX)
+        assert not facts.kills_reg(RAX)
+        assert facts.flags_read & ZF
+
+
+class TestFlagFacts:
+    def test_add_defines_status_flags(self):
+        facts = f("48 01 d8")  # add rax, rbx
+        assert facts.flags_written == STATUS_FLAGS
+        assert facts.flags_killed == STATUS_FLAGS
+
+    def test_inc_preserves_carry(self):
+        facts = f("48 ff c0")  # inc rax
+        assert not (facts.flags_written & CF)
+        assert facts.flags_written & ZF
+
+    def test_jcc_reads_its_condition(self):
+        facts = f("74 05")  # je
+        assert facts.flags_read & ZF
+        assert facts.flags_written == 0
+
+    def test_cld_kills_direction_flag(self):
+        facts = f("fc")
+        assert facts.flags_killed & DF
+
+    def test_shifts_define_but_never_must_kill(self):
+        # A zero shift count leaves every flag unchanged, so shifts
+        # may-write flags without killing them.
+        facts = f("48 c1 e0 03")  # shl rax, 3
+        assert facts.flags_written & CF
+        assert facts.flags_killed == 0
+
+
+class TestMemoryFacts:
+    def test_stack_access(self):
+        facts = f("48 8b 44 24 08")  # mov rax, [rsp+8]
+        assert facts.mem_class == "stack"
+        assert facts.mem_width == 8
+        assert facts.mem_read and not facts.mem_write
+
+    def test_heap_access(self):
+        facts = f("89 03")  # mov [rbx], eax
+        assert facts.mem_class == "heap"
+        assert facts.mem_width == 4
+        assert facts.mem_write
+
+    def test_rip_relative_is_global(self):
+        facts = f("8b 05 00 00 00 00")  # mov eax, [rip+0]
+        assert facts.mem_class == "global"
+
+    def test_byte_source_movzx(self):
+        facts = f("0f b6 03")  # movzx eax, byte [rbx]
+        assert facts.mem_width == 1
+        assert facts.kills_reg(RAX)
+
+
+class TestUnknownFacts:
+    def test_unknown_control_flow_reads_and_writes_everything(self):
+        for hexstr in ("c3", "cc", "0f 05", "ff d0"):  # ret/int3/syscall/call
+            facts = f(hexstr)
+            assert not facts.known
+            assert facts.regs_written == ALL_REGS
+            assert facts.flags_written == ALL_FLAGS
+            assert facts.regs_killed == 0
+
+    def test_0f_b8_without_rep_is_unknown(self):
+        facts = f("0f b8 c3")
+        assert not facts.known
+
+    def test_popcnt_is_known(self):
+        facts = f("f3 48 0f b8 c3")  # popcnt rax, rbx
+        assert facts.known
+        assert facts.kills_reg(RAX)
+
+
+class TestEndbr:
+    def test_endbr64_detected_and_effect_free(self):
+        insn = decode(bytes.fromhex("f30f1efa"), address=0x401000)
+        assert is_endbr64(insn)
+        facts = facts_for(insn)
+        assert facts.known
+        assert facts.regs_written == 0
+
+    def test_other_f3_0f_1e_forms_are_not_endbr(self):
+        insn = decode(bytes.fromhex("0f1efa"), address=0x401000)
+        assert not is_endbr64(insn)
+
+
+class TestMaskNames:
+    def test_reg_mask_names(self):
+        assert reg_mask_names(bit(RAX) | bit(R11)) == ["rax", "r11"]
+
+    def test_flag_mask_names(self):
+        assert flag_mask_names(CF | OF) == ["cf", "of"]

@@ -77,7 +77,7 @@ class TestFigure1:
         assert succ.mnemonic == "jmp"
         # Evictee window per the figure: rel32 = 0x48XXXXXX region
         # (top fixed byte is Ins3's 0x48).
-        evictee = [t for t in plan.patches[0].trampolines if t.tag == "evictee"][0]
+        evictee = [t for t in plan.patches[0].trampolines if t.tag.startswith("evictee")][0]
         rel = (evictee.vaddr - (BASE + 3 + 5)) & 0xFFFFFFFF
         assert rel >> 24 == 0x48
 
