@@ -1,10 +1,18 @@
 """Per-pass timing smoke bench with a machine-readable result file.
 
-Runs the staged pipeline over a mid-sized synthetic binary five ways —
+Runs the staged pipeline over a mid-sized synthetic binary six ways —
 single rewrite, verified rewrite, 3-config batch, serial-vs-parallel
-8-config batch, cold-vs-warm artifact cache — prints the per-pass
-wall-time breakdown, and writes every measurement as JSON (default
-``benchmarks/out/BENCH_passes.json``, schema ``repro-bench/1``).
+8-config batch, chunked-vs-serial decode, cold-vs-warm artifact cache —
+prints the per-pass wall-time breakdown, and writes every measurement
+as JSON (default ``benchmarks/out/BENCH_passes.json``, schema
+``repro-bench/1``).
+
+``--large [PROFILE]`` switches to the browser-scale mode instead: it
+decodes a 50-100 MB :class:`~repro.synth.profiles.LargeTextProfile`
+section serially and chunked, requires both to be byte-identical to
+each other *and* to a full ``decode_reference`` oracle walk, and writes
+``benchmarks/out/BENCH_large.json`` (CI's scheduled ``bench-large``
+job).
 
 CI uses it twice: as a smoke job that exits nonzero if the pipeline or
 its accounting regresses (success rate, shared decode, parallel
@@ -68,7 +76,14 @@ def bench_serial_vs_parallel(data: bytes, jobs: int,
                              metrics: dict) -> str | None:
     """Measure the same 8-config batch serially and with *jobs* workers;
     any output byte difference is a hard failure."""
+    from repro.core.parallel import BatchExecutor
+
     configs = parallel_batch_configs()
+    # How many workers the pool can actually use here (folds in the CPU
+    # count): the gate skips the speedup rule when this is <= 1, since a
+    # serial-fallback host measures pure overhead, not parallelism.
+    metrics["parallel.effective_workers"] = (
+        BatchExecutor(jobs).effective_workers(len(configs)))
 
     t0 = time.perf_counter()
     serial = rewrite_many(data, list(configs), matcher="jumps", jobs=1)
@@ -137,6 +152,136 @@ def check_decode_identity(data: bytes, metrics: dict) -> str | None:
         return (f"fast/reference decoder mismatch on {mismatches} of "
                 f"{checked} instructions")
     return None
+
+
+def bench_chunked(data: bytes, metrics: dict) -> str | None:
+    """Chunked intra-binary decode vs the serial sweep: identical
+    instruction starts required, throughput and boundary-reconciliation
+    counters reported (see docs/PERF.md).  Skipped without numpy (the
+    fast path is an optional extra; the scalar decoder has no chunked
+    mode)."""
+    from repro.x86.fastscan import HAVE_NUMPY, decode_stream
+
+    if not HAVE_NUMPY:
+        print("== chunked decode == skipped (numpy unavailable)\n")
+        return None
+    from repro.elf.reader import ElfFile
+
+    # Tile the bench binary's .text to a few MB so per-chunk overhead
+    # amortizes and the throughput number is stable run to run.
+    text = bytes(ElfFile(data).section_view(".text"))
+    text = text * max(1, (4 << 20) // len(text))
+
+    t0 = time.perf_counter()
+    serial = decode_stream(text)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    chunked = decode_stream(text, chunk_size=256 << 10)
+    chunked_s = time.perf_counter() - t0
+
+    metrics["chunked.decode_mb_s"] = (
+        round(len(text) / chunked_s / 1e6, 3) if chunked_s else 0.0)
+    metrics["chunked.chunks"] = chunked.chunks
+    metrics["chunked.reconcile_steps"] = chunked.reconcile_retries
+    print(f"== chunked decode ({len(text) >> 20} MB, {chunked.chunks} "
+          f"chunks, {chunked.reconcile_retries} reconcile steps) ==")
+    print(f"serial  {len(text) / serial_s / 1e6:8.2f} MB/s   "
+          f"chunked {len(text) / chunked_s / 1e6:8.2f} MB/s")
+    print()
+    if chunked.start_offsets() != serial.start_offsets():
+        return "chunked decode starts differ from the serial sweep"
+    return None
+
+
+def check_stream_reference_identity(blob, stream, metrics: dict,
+                                    sample: int = 1000) -> str | None:
+    """Walk ``decode_reference`` over the whole *blob* and require the
+    stream to agree on every instruction boundary (plus full field
+    equality on every *sample*-th instruction — boundaries already pin
+    lengths, so sampling the deep compare keeps the walk O(reference)).
+
+    Mirrors ``decode_buffer``'s error handling: a reference
+    ``DecodeError`` is a 1-byte ``(bad)`` pseudo-instruction.
+    """
+    from repro.errors import DecodeError
+    from repro.x86.decoder import decode_reference
+
+    starts = stream.start_offsets()
+    n = len(blob)
+    off = i = mismatches = 0
+    while off < n and i < len(starts):
+        if starts[i] != off:
+            mismatches += 1
+            break
+        try:
+            ref = decode_reference(blob, off)
+            length = ref.length
+        except DecodeError:
+            ref, length = None, 1
+        if i % sample == 0:
+            insn = stream[i]
+            ok = (insn == ref and insn.raw == ref.raw) if ref is not None \
+                else (insn.mnemonic == "(bad)" and len(insn.raw) == 1)
+            if not ok:
+                mismatches += 1
+                break
+        off += length
+        i += 1
+    if mismatches == 0 and (off != n or i != len(starts)):
+        mismatches += 1  # one side ended early: boundary drift
+    metrics["large.reference_checked"] = i
+    print("== stream vs reference oracle ==")
+    print(f"{i} instruction boundaries compared, {mismatches} mismatches")
+    print()
+    if mismatches:
+        return (f"stream diverged from decode_reference at instruction "
+                f"{i} (offset {off:#x})")
+    return None
+
+
+def bench_large(profile_name: str, metrics: dict) -> str | None:
+    """The browser-scale section: serial + chunked decode of a
+    ``LargeTextProfile`` (50-100 MB of synthetic code), identity-checked
+    against the serial sweep *and* the reference oracle."""
+    from repro.synth.profiles import LARGE_TEXT_PROFILES
+    from repro.x86.fastscan import HAVE_NUMPY, decode_stream
+
+    profile = LARGE_TEXT_PROFILES[profile_name]
+    t0 = time.perf_counter()
+    blob = profile.build()
+    build_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    serial = decode_stream(blob)
+    serial_s = time.perf_counter() - t0
+    metrics["large.bytes"] = len(blob)
+    metrics["large.build_s"] = build_s
+    metrics["large.decode_mb_s"] = round(len(blob) / serial_s / 1e6, 3)
+    print(f"== large decode ({profile.name}: {len(blob) >> 20} MB, "
+          f"numpy={HAVE_NUMPY}) ==")
+    print(f"build  {build_s:8.3f} s")
+    print(f"serial {serial_s:8.3f} s   "
+          f"{len(blob) / serial_s / 1e6:8.2f} MB/s")
+
+    if HAVE_NUMPY:
+        t0 = time.perf_counter()
+        chunked = decode_stream(blob, chunk_size=8 << 20)
+        chunked_s = time.perf_counter() - t0
+        metrics["large.chunked_mb_s"] = round(len(blob) / chunked_s / 1e6, 3)
+        metrics["large.chunks"] = chunked.chunks
+        metrics["large.reconcile_steps"] = chunked.reconcile_retries
+        print(f"chunked {chunked_s:7.3f} s   "
+              f"{len(blob) / chunked_s / 1e6:8.2f} MB/s   "
+              f"({chunked.chunks} chunks, "
+              f"{chunked.reconcile_retries} reconcile steps)")
+        print()
+        if chunked.start_offsets() != serial.start_offsets():
+            return "large chunked decode starts differ from serial sweep"
+    else:
+        print()
+
+    return check_stream_reference_identity(blob, serial, metrics)
 
 
 def bench_cache(data: bytes, metrics: dict) -> str | None:
@@ -209,19 +354,48 @@ def write_result(path: pathlib.Path, metrics: dict) -> None:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--out", default=str(pathlib.Path(__file__).parent
-                             / "out" / "BENCH_passes.json"),
-        help="result JSON path (schema repro-bench/1)",
+        "--out", default=None,
+        help="result JSON path (schema repro-bench/1); defaults to "
+        "benchmarks/out/BENCH_passes.json, or BENCH_large.json "
+        "under --large",
     )
     parser.add_argument("--jobs", type=int, default=PARALLEL_JOBS,
                         help="worker count for the parallel section")
+    parser.add_argument(
+        "--large", nargs="?", const="bigtext-50", metavar="PROFILE",
+        help="run ONLY the browser-scale decode section on the named "
+        "LargeTextProfile (default bigtext-50): serial + chunked decode "
+        "with a full reference-oracle identity walk",
+    )
     args = parser.parse_args(argv)
+    out = pathlib.Path(args.out) if args.out else (
+        pathlib.Path(__file__).parent / "out"
+        / ("BENCH_large.json" if args.large else "BENCH_passes.json"))
 
     metrics: dict = {}
     failures: list[str] = []
 
+    if args.large:
+        failure = bench_large(args.large, metrics)
+        if failure:
+            failures.append(failure)
+        write_result(out, metrics)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("OK")
+        return 0
+
     binary = synthesize(SynthesisParams(
         n_jump_sites=N_SITES, n_write_sites=N_SITES // 2, seed=4242))
+
+    # Untimed warm-up: the first rewrite in a process pays one-off
+    # costs (numpy ufunc initialization, allocator growth) that would
+    # otherwise be billed to whichever pass runs first and swamp the
+    # steady-state rates the gate tracks.
+    instrument_elf(binary.data, "jumps",
+                   options=RewriteOptions(mode="loader"))
 
     obs = Observer()
     t0 = time.perf_counter()
@@ -274,6 +448,10 @@ def main(argv: list[str] | None = None) -> int:
     if failure:
         failures.append(failure)
 
+    failure = bench_chunked(binary.data, metrics)
+    if failure:
+        failures.append(failure)
+
     failure = bench_cache(binary.data, metrics)
     if failure:
         failures.append(failure)
@@ -282,7 +460,7 @@ def main(argv: list[str] | None = None) -> int:
     if failure:
         failures.append(failure)
 
-    write_result(pathlib.Path(args.out), metrics)
+    write_result(out, metrics)
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)

@@ -156,6 +156,14 @@ def derive_throughput(
     decode_bytes = counters.get("decode.bytes", 0)
     if decode_s > 0.0 and decode_bytes:
         out["decode_mb_s"] = round(decode_bytes / decode_s / 1e6, 3)
+    chunks = counters.get("decode.chunks", 0)
+    if chunks > 1:
+        # Chunked intra-binary decode ran: surface the fan-out shape and
+        # how much boundary reconciliation it cost (scalar re-decode
+        # steps across chunk seams until self-synchronization).
+        out["decode_chunks"] = chunks
+        out["decode_reconcile_retries"] = counters.get(
+            "decode.reconcile_retries", 0)
     plan_s = timings.get("plan", 0.0)
     plan_sites = counters.get("plan.sites", 0)
     if plan_s > 0.0 and plan_sites:

@@ -209,6 +209,20 @@ class BatchExecutor:
         return None
 
 
+def chunk_spans(total: int, chunk_size: int) -> list[tuple[int, int]]:
+    """Split ``[0, total)`` into ``[lo, hi)`` spans of ``chunk_size`` bytes.
+
+    The last span absorbs the remainder (it may be shorter).  Used by
+    chunked intra-binary decode (:mod:`repro.x86.fastscan`) to carve a
+    large code region into independently scannable work items.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    return [
+        (lo, min(total, lo + chunk_size)) for lo in range(0, total, chunk_size)
+    ]
+
+
 def default_start_method() -> str:
     """``fork`` where available (cheap, inherits the loaded package),
     else ``spawn`` (which relies on ``PYTHONPATH`` carrying ``src``)."""

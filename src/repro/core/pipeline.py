@@ -26,7 +26,7 @@ is a thin compatibility facade over this module.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol, runtime_checkable
+from typing import Protocol, Sequence, runtime_checkable
 
 from repro.core.allocator import AddressSpace
 from repro.core.binary import CodeImage
@@ -145,7 +145,7 @@ class RewriteContext:
     observer: Observer = field(default_factory=Observer)
 
     # -- decode/match products ------------------------------------------
-    instructions: list[Instruction] | None = None
+    instructions: Sequence[Instruction] | None = None
     sites: list[Instruction] | None = None
     requests: list[PatchRequest] | None = None
 
@@ -315,8 +315,11 @@ class DecodePass(PipelinePass):
 
     name = "decode"
 
-    def __init__(self, frontend: str = "linear") -> None:
+    def __init__(self, frontend: str = "linear", jobs=None) -> None:
         self.frontend = frontend
+        # Optional BatchExecutor enabling chunked intra-binary decode for
+        # large code regions (see repro.x86.fastscan).
+        self.jobs = jobs
 
     def execute(self, ctx: RewriteContext) -> None:
         if ctx.instructions is not None:
@@ -326,18 +329,29 @@ class DecodePass(PipelinePass):
         from repro.frontend.lineardisasm import (
             disassemble_functions,
             disassemble_text,
+            disassemble_text_stream,
         )
 
         if self.frontend == "symbols":
             ctx.instructions = disassemble_functions(ctx.elf)
         elif self.frontend == "linear":
-            ctx.instructions = disassemble_text(ctx.elf)
+            stream = disassemble_text_stream(ctx.elf, executor=self.jobs)
+            ctx.instructions = (
+                stream if stream is not None else disassemble_text(ctx.elf)
+            )
         else:
             raise ValueError(f"unknown frontend {self.frontend!r}")
-        ctx.observer.count("decode.instructions", len(ctx.instructions))
-        ctx.observer.count(
-            "decode.bytes", sum(i.length for i in ctx.instructions)
-        )
+        insns = ctx.instructions
+        ctx.observer.count("decode.instructions", len(insns))
+        total = getattr(insns, "total_bytes", None)
+        if total is not None:  # InstructionStream: counters without iteration
+            ctx.observer.count("decode.bytes", total)
+            ctx.observer.count("decode.chunks", insns.chunks)
+            ctx.observer.count(
+                "decode.reconcile_retries", insns.reconcile_retries
+            )
+        else:
+            ctx.observer.count("decode.bytes", sum(i.length for i in insns))
 
 
 class MatchPass(PipelinePass):
@@ -351,7 +365,11 @@ class MatchPass(PipelinePass):
     def execute(self, ctx: RewriteContext) -> None:
         if ctx.instructions is None:
             raise PatchError("MatchPass needs a decoded instruction stream")
-        ctx.sites = [i for i in ctx.instructions if self.matcher(i)]
+        select = getattr(ctx.instructions, "select", None)
+        if select is not None:  # InstructionStream: candidate-bit pruning
+            ctx.sites = select(self.matcher)
+        else:
+            ctx.sites = [i for i in ctx.instructions if self.matcher(i)]
         ctx.observer.count("match.sites", len(ctx.sites))
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 import enum
 from bisect import bisect_right
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.errors import PatchError
 from repro.core.allocator import AddressSpace
@@ -124,7 +125,7 @@ class TacticContext:
 
     image: CodeImage
     space: AddressSpace
-    instructions: list[Instruction]  # sorted by address (linear stream)
+    instructions: Sequence[Instruction]  # sorted by address (linear stream)
     max_eviction_probes: int = 1
     _addrs: list[int] = field(default_factory=list)
     _pw_cache: dict = field(default_factory=dict)
@@ -134,7 +135,11 @@ class TacticContext:
     _ts_cache: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        self._addrs = [i.address for i in self.instructions]
+        addrs = getattr(self.instructions, "addresses_list", None)
+        if addrs is not None:  # InstructionStream: no materialization
+            self._addrs = addrs()
+        else:
+            self._addrs = [i.address for i in self.instructions]
 
     def insn_at(self, addr: int) -> Instruction | None:
         """Instruction starting exactly at *addr*."""

@@ -148,6 +148,21 @@ class ElfFile:
             return b"\x00" * sec.size
         return self.data[sec.offset : sec.offset + sec.size]
 
+    def section_view(self, name: str) -> memoryview:
+        """Zero-copy read-only view of the named section's file bytes.
+
+        Unlike :meth:`section_bytes` this never copies: the view aliases
+        the loaded image, which is immutable for the lifetime of this
+        reader.  NOBITS sections (no file bytes) still fall back to a
+        zero buffer.
+        """
+        sec = self.section(name)
+        if sec is None:
+            raise ElfError(f"no section named {name!r}")
+        if sec.shdr.type == c.SHT_NOBITS:
+            return memoryview(b"\x00" * sec.size)
+        return memoryview(self.data)[sec.offset : sec.offset + sec.size]
+
     # -- address translation ----------------------------------------------------
 
     def vaddr_to_offset(self, vaddr: int) -> int:

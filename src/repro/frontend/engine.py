@@ -89,6 +89,10 @@ class EngineConfig:
     ``cache=None`` disables the artifact store entirely;
     ``executor`` defaults to a fresh ``$REPRO_JOBS`` resolution *at
     config construction* — the only moment the environment is read.
+    The executor serves double duty: batches wide enough fan out one
+    process per configuration, and a single large binary fans its
+    *decode* out across the same workers (chunked linear sweep with
+    boundary reconciliation — see ``docs/PERF.md``).
     """
 
     frontend: str = "linear"

@@ -39,6 +39,7 @@ from repro.core.strategy import PatchRequest, TacticToggles
 from repro.core.trampoline import Counter, Empty, Instrumentation
 from repro.elf.reader import ElfFile
 from repro.frontend.matchers import MATCHERS, Matcher
+from repro.x86.fastscan import InstructionStream
 
 
 @dataclass
@@ -129,6 +130,7 @@ def prepare_binary(
     frontend: str = "linear",
     observer: Observer | None = None,
     cache: ArtifactStore | None = None,
+    jobs: BatchExecutor | None = None,
 ) -> RewriteContext:
     """Parse and disassemble *data* once, into a reusable context.
 
@@ -140,6 +142,10 @@ def prepare_binary(
     With a *cache*, the decoded instruction stream is looked up by
     content hash first; on a hit ``DecodePass`` never runs (its ``runs``
     counter stays 0) and ``cache.decode.hits`` is counted instead.
+
+    *jobs* (a :class:`~repro.core.parallel.BatchExecutor`) enables
+    chunked intra-binary parallel decode for large code regions; the
+    resulting stream is byte-identical to the serial sweep.
     """
     observer = observer or Observer()
     ctx = RewriteContext(
@@ -151,13 +157,13 @@ def prepare_binary(
     if cache is not None:
         key = cache.decode_key(data, frontend)
         cached = cache.get("decode", key)
-        if isinstance(cached, list):
+        if isinstance(cached, (list, InstructionStream)):
             ctx.instructions = cached
             observer.count("cache.decode.hits")
             observer.count("decode.instructions", len(cached))
             return ctx
         observer.count("cache.decode.misses")
-    DecodePass(frontend).run(ctx)
+    DecodePass(frontend, jobs=jobs).run(ctx)
     if cache is not None:
         cache.put("decode", key, ctx.instructions)
     return ctx
@@ -206,6 +212,7 @@ def _rewrite_serial(
     observer: Observer | None,
     cache: ArtifactStore | None,
     cache_outputs: bool,
+    jobs: BatchExecutor | None = None,
 ) -> list[InstrumentReport]:
     """The in-process batch loop: one decode, cached matches, and a
     fresh planner/emitter (hence a fresh allocator) per configuration."""
@@ -218,7 +225,8 @@ def _rewrite_serial(
         base = source
     else:
         base = prepare_binary(data=source, frontend=frontend,
-                              observer=shared_observer, cache=cache)
+                              observer=shared_observer, cache=cache,
+                              jobs=jobs)
     decode_key = (cache.decode_key(base.elf.data, frontend)
                   if cache is not None else None)
 
@@ -301,8 +309,14 @@ def _match_sites(
     MatchPass(fn).run(base)
     sites = base.sites
     if match_key is not None:
-        position = {id(insn): i for i, insn in enumerate(base.instructions)}
-        cache.put("match", match_key, [position[id(s)] for s in sites])
+        site_indices = getattr(base.instructions, "site_indices", None)
+        if site_indices is not None:  # InstructionStream: address bisect
+            cache.put("match", match_key, site_indices(sites))
+        else:
+            position = {
+                id(insn): i for i, insn in enumerate(base.instructions)
+            }
+            cache.put("match", match_key, [position[id(s)] for s in sites])
     site_cache[memo_key] = sites
     return sites
 
@@ -362,6 +376,10 @@ def rewrite_many(
         matcher=matcher, instrumentation=instrumentation,
         frontend=frontend, observer=observer, cache=cache,
         cache_outputs=cache_outputs,
+        # The serial batch path reuses the executor *inside* the decode:
+        # a batch too small to fan out may still carry a binary large
+        # enough for chunked intra-binary decode.
+        jobs=executor,
     )
 
 

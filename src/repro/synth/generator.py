@@ -357,3 +357,42 @@ def synthesize(params: SynthesisParams) -> SyntheticBinary:
 def synthesize_profile(profile: BinaryProfile, *, loop_iters: int = 0) -> SyntheticBinary:
     """Generate the scaled stand-in for a Table 1 row."""
     return synthesize(SynthesisParams.from_profile(profile, loop_iters=loop_iters))
+
+
+def build_large_text(profile) -> bytes:
+    """Build a :class:`~repro.synth.profiles.LargeTextProfile` section.
+
+    Generates ``n_units`` distinct units through the real generator
+    (varying the seed and the short-site length mix so tiles differ in
+    both bytes and instruction-length distribution), extracts each
+    unit's ``.text``, then tiles them in a seeded shuffled order and
+    trims to exactly ``target_bytes``.  Every unit is a whole number of
+    instructions, so a linear sweep over the concatenation decodes each
+    tile exactly as it decodes the unit in isolation; only the final
+    trimmed tile may end mid-instruction (a deliberate truncation-tail
+    case for the identity check).
+    """
+    from repro.elf.reader import ElfFile
+
+    units: list[bytes] = []
+    for i in range(profile.n_units):
+        params = SynthesisParams(
+            n_jump_sites=profile.unit_sites,
+            n_write_sites=profile.unit_sites,
+            seed=profile.base_seed + i,
+            short_jump_frac=0.15 + 0.09 * i,
+            short_store_frac=0.25 + 0.08 * i,
+        )
+        sb = synthesize(params)
+        elf = ElfFile(sb.data)
+        off = elf.vaddr_to_offset(sb.text_vaddr)
+        units.append(elf.data[off : off + sb.text_size])
+
+    rng = random.Random(profile.base_seed)
+    parts: list[bytes] = []
+    total = 0
+    while total < profile.target_bytes:
+        unit = units[rng.randrange(len(units))]
+        parts.append(unit)
+        total += len(unit)
+    return b"".join(parts)[: profile.target_bytes]

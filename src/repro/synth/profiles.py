@@ -232,3 +232,49 @@ def profile_by_name(name: str) -> BinaryProfile:
         if profile.name == name:
             return profile
     raise KeyError(name)
+
+
+# --- Browser-scale code sections (decode-throughput benchmarking) ------------
+
+
+@dataclass(frozen=True)
+class LargeTextProfile:
+    """A synthetic browser-scale *code section* (bytes, not a full ELF).
+
+    The Table-1 stand-ins above scale patch-location counts *down* so
+    the full-table harness stays fast; this profile goes the other way:
+    it reproduces the raw code-section *size* of a browser binary
+    (Chrome's .text is ~100 MB) so the decode hot path is measured at
+    the scale the paper targets.  The section is built by tiling
+    ``n_units`` distinct seeded generator outputs in a seeded shuffled
+    order and trimming to exactly ``target_mb`` — deterministic for a
+    given profile, byte-diverse across tiles, and (because each unit is
+    a whole number of instructions) linear-decodable tile-locally, which
+    keeps the full reference-identity walk in the large benchmark
+    honest but debuggable.
+    """
+
+    name: str
+    target_mb: int
+    unit_sites: int = 2000  # jump+write sites per generated unit
+    n_units: int = 8  # distinct seeded units tiled in shuffled order
+    base_seed: int = 0x5CA1E
+
+    @property
+    def target_bytes(self) -> int:
+        return self.target_mb << 20
+
+    def build(self) -> bytes:
+        """Materialize the section bytes (delegates to the generator)."""
+        from repro.synth.generator import build_large_text
+
+        return build_large_text(self)
+
+
+LARGE_TEXT_PROFILES: dict[str, LargeTextProfile] = {
+    p.name: p
+    for p in (
+        LargeTextProfile("bigtext-50", 50),
+        LargeTextProfile("bigtext-100", 100),
+    )
+}

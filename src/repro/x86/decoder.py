@@ -158,7 +158,9 @@ def decode(data: bytes, offset: int = 0, address: int | None = None) -> Instruct
             addrsize32 = True
         elif b == 0xF3:
             rep = True
-    legacy = bytes(data[offset:pos]) if npfx else b""
+    # Prefixes are the first npfx bytes of raw; the Instruction slices
+    # them out lazily on first access (no per-instruction bytes copy).
+    legacy = npfx
 
     # --- REX / VEX / EVEX --------------------------------------------------
     rex = None
@@ -315,7 +317,7 @@ def decode(data: bytes, offset: int = 0, address: int | None = None) -> Instruct
     insn._len = pos - offset
     insn.mnemonic = mnemonic
     insn.address = offset if address is None else address
-    insn.legacy_prefixes = legacy
+    insn._legacy = legacy
     insn.rex = rex
     insn.vex = None
     insn.opmap = opmap
@@ -332,11 +334,10 @@ def decode(data: bytes, offset: int = 0, address: int | None = None) -> Instruct
     insn.flow = flow
     insn.writes_rm = writes_rm
     insn.string_write = (flags & F_STRING_WRITE) != 0
-    if type(data) is not bytes:
-        # Mutable buffers (bytearray/memoryview) could change under a
-        # lazy view; materialize now.
-        insn._raw = bytes(data[offset:pos])
-        insn._data = None
+    # raw stays a lazy (buffer, start, length) view for every buffer
+    # type, mutable ones included: materialization snapshots the bytes
+    # at first access, and a materialized raw is an independent copy
+    # that later buffer mutation cannot corrupt.
     return insn
 
 
@@ -568,7 +569,10 @@ def decode_reference(data: bytes, offset: int = 0,
     if spec.flags & F_STRING_WRITE:
         insn.string_write = True
 
-    insn.raw = bytes(data[offset : cur.pos])
+    insn._raw = None
+    insn._data = data
+    insn._start = offset
+    insn._len = cur.pos - offset
     return insn
 
 
@@ -617,7 +621,10 @@ def _decode_vex(cur: _Cursor, insn: Instruction, opsize16: bool,
     if map_select == 1 and opcode in (0x11, 0x13, 0x17, 0x29, 0x2B, 0x7F, 0xD6, 0xE7):
         insn.writes_rm = True
 
-    insn.raw = bytes(data[offset : cur.pos])
+    insn._raw = None
+    insn._data = data
+    insn._start = offset
+    insn._len = cur.pos - offset
     return insn
 
 
@@ -657,7 +664,8 @@ def decode_buffer(data: bytes, address: int = 0) -> list[Instruction]:
             insn = _decode(data, off, address + off)
         except DecodeError:
             insn = Instruction(
-                raw=data[off : off + 1], mnemonic="(bad)", address=address + off
+                raw=bytes(data[off : off + 1]), mnemonic="(bad)",
+                address=address + off,
             )
         append(insn)
         off += insn._len

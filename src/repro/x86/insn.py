@@ -62,7 +62,7 @@ class Instruction:
 
     __slots__ = (
         "_raw", "_data", "_start", "_len",
-        "mnemonic", "address", "legacy_prefixes", "rex", "vex",
+        "mnemonic", "address", "_legacy", "rex", "vex",
         "opmap", "opcode", "opcode_offset", "modrm", "sib", "disp",
         "disp_offset", "disp_size", "imm", "imm_offset", "imm_size",
         "flow", "writes_rm", "string_write",
@@ -97,7 +97,7 @@ class Instruction:
         self._len = len(raw)
         self.mnemonic = mnemonic
         self.address = address
-        self.legacy_prefixes = legacy_prefixes
+        self._legacy = legacy_prefixes
         self.rex = rex
         self.vex = vex
         self.opmap = opmap
@@ -132,6 +132,23 @@ class Instruction:
         self._raw = value
         self._data = None
         self._len = len(value)
+
+    @property
+    def legacy_prefixes(self) -> bytes:
+        """Legacy prefix bytes (lazy: the decoder stores only the count).
+
+        The prefixes are always the first ``n`` bytes of :attr:`raw`, so
+        the fast decoder records just ``n`` and the bytes are sliced out
+        on first access.
+        """
+        v = self._legacy
+        if type(v) is int:
+            v = self._legacy = bytes(self.raw[:v])
+        return v
+
+    @legacy_prefixes.setter
+    def legacy_prefixes(self, value) -> None:
+        self._legacy = value
 
     # -- layout ------------------------------------------------------------
 

@@ -183,3 +183,29 @@ class TestExecutorConfig:
         config = ExecutorConfig(jobs=2)
         with pytest.raises(dataclasses.FrozenInstanceError):
             config.jobs = 4
+
+
+class TestChunkSpans:
+    def test_covers_range_exactly(self):
+        from repro.core.parallel import chunk_spans
+
+        spans = chunk_spans(100, 32)
+        assert spans == [(0, 32), (32, 64), (64, 96), (96, 100)]
+
+    def test_exact_multiple_has_no_stub(self):
+        from repro.core.parallel import chunk_spans
+
+        assert chunk_spans(64, 32) == [(0, 32), (32, 64)]
+
+    def test_empty_total(self):
+        from repro.core.parallel import chunk_spans
+
+        assert chunk_spans(0, 32) == []
+
+    def test_rejects_nonpositive_chunk(self):
+        import pytest
+
+        from repro.core.parallel import chunk_spans
+
+        with pytest.raises(ValueError):
+            chunk_spans(10, 0)

@@ -265,3 +265,50 @@ class TestCliJson:
         err = capsys.readouterr().err
         assert "[trace] pass:start decode" in err
         assert "[trace] pass:end verify" in err
+
+
+class TestStreamDecode:
+    """The zero-copy InstructionStream path must be observationally
+    identical to the legacy eager-list path, bytes out included."""
+
+    def test_stream_and_list_rewrites_byte_identical(self):
+        from repro.frontend.lineardisasm import disassemble_text
+
+        data = small_binary(seed=23, n_jump_sites=40)
+        stream_report = instrument_elf(
+            data, "jumps", options=RewriteOptions(mode="loader"))
+
+        ctx = RewriteContext(elf=ElfFile(data),
+                             options=RewriteOptions(mode="loader"))
+        ctx.instructions = disassemble_text(ctx.elf)  # eager list
+        [list_report] = rewrite_many(
+            ctx, [RewriteOptions(mode="loader")], matcher="jumps")
+        assert stream_report.result.data == list_report.result.data
+
+    def test_decode_pass_produces_stream_with_counters(self):
+        from repro.x86.fastscan import InstructionStream
+
+        data = small_binary(seed=23)
+        obs = Observer()
+        ctx = RewriteContext(elf=ElfFile(data), options=RewriteOptions(),
+                             observer=obs)
+        DecodePass().run(ctx)
+        assert isinstance(ctx.instructions, InstructionStream)
+        assert obs.counters["decode.chunks"] >= 1
+        assert "decode.reconcile_retries" in obs.counters
+        assert obs.counters["decode.bytes"] == ctx.instructions.total_bytes
+
+    def test_match_pass_uses_stream_select(self):
+        data = small_binary(seed=23)
+        ctx = RewriteContext(elf=ElfFile(data), options=RewriteOptions())
+        DecodePass().run(ctx)
+        MatchPass(match_jumps).run(ctx)
+        assert ctx.sites == [i for i in ctx.instructions if match_jumps(i)]
+
+    def test_rewritten_binary_still_runs(self):
+        data = small_binary(seed=29, n_jump_sites=16)
+        report = instrument_elf(data, "jumps",
+                                options=RewriteOptions(mode="loader"))
+        before, after = run_elf(data), run_elf(report.result.data)
+        assert (before.exit_code, before.stdout) == (
+            after.exit_code, after.stdout)

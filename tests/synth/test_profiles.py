@@ -49,3 +49,36 @@ class TestProfiles:
     def test_seeds_distinct(self):
         seeds = {p.seed for p in ALL_PROFILES}
         assert len(seeds) == len(ALL_PROFILES)
+
+
+class TestLargeTextProfiles:
+    """Browser-scale code sections for decode benchmarking."""
+
+    def small(self):
+        from repro.synth.profiles import LargeTextProfile
+
+        # A scaled-down twin of bigtext-50: same construction, 1 MB.
+        return LargeTextProfile("t", 1, unit_sites=60, n_units=2)
+
+    def test_registry_targets_browser_scale(self):
+        from repro.synth.profiles import LARGE_TEXT_PROFILES
+
+        for p in LARGE_TEXT_PROFILES.values():
+            assert 50 <= p.target_mb <= 100
+
+    def test_build_is_deterministic_and_exact_size(self):
+        p = self.small()
+        blob = p.build()
+        assert len(blob) == p.target_bytes == 1 << 20
+        assert blob == p.build()
+
+    def test_tiles_decode_like_real_code(self):
+        from repro.x86.decoder import decode_buffer
+
+        blob = self.small().build()
+        insns = decode_buffer(blob)
+        # Generator output, not byte soup: undecodable bytes may exist
+        # only where the exact-size trim cut the final instruction.
+        bad = [i for i in insns if i.mnemonic == "(bad)"]
+        assert all(i.address >= len(blob) - 15 for i in bad)
+        assert len(insns) > 100_000
