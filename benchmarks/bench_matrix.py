@@ -9,8 +9,10 @@ overhead, and output-size delta.
 
 CI runs this twice:
 
-* the ``eval-matrix`` job runs ``--cells pr`` (the reduced 12-cell
-  matrix) on every PR and gates the result against the committed
+* the ``eval-matrix`` job runs ``--cells pr`` (the reduced 24-cell
+  matrix, including the ``libsynth-cet.so`` shared-object column
+  judged dlopen-style at a nonzero base) on every PR and gates the
+  result against the committed
   baseline ``benchmarks/BENCH_matrix.json`` via
   ``python -m repro.eval.trend``;
 * the scheduled / ``workflow_dispatch`` full run uses ``--cells full``

@@ -200,7 +200,7 @@ def lint_context(ctx: RewriteContext) -> LintReport:
         report.sites_checked += 1
     for patch in ctx.plan.patches:
         for tramp in patch.trampolines:
-            _check_trampoline(img, by_addr, tramp, report)
+            _check_trampoline(img, by_addr, tramp, report, cet=ctx.cet)
             report.trampolines_checked += 1
     return report
 
@@ -243,8 +243,11 @@ def _check_site(ctx: RewriteContext, img: _OutputImage,
     site = patch.site
     original = by_addr.get(site)
     if original is not None and is_endbr64(original):
+        # In CET mode this is a rewriter bug (the tactics refuse these
+        # sites); for non-CET inputs it stays advisory.
         report.findings.append(Finding(
-            severity="warn", check="endbr", vaddr=site,
+            severity="error" if ctx.cet else "warn",
+            check="endbr", vaddr=site,
             message="patched instruction is an endbr64 landing pad; "
                     "CET indirect branches to it will fault",
         ))
@@ -313,7 +316,8 @@ def _check_site(ctx: RewriteContext, img: _OutputImage,
 
 
 def _check_trampoline(img: _OutputImage, by_addr: dict[int, Instruction],
-                      tramp: Trampoline, report: LintReport) -> None:
+                      tramp: Trampoline, report: LintReport,
+                      *, cet: bool = False) -> None:
     parsed = _parse_tag(tramp.tag)
     if parsed is None:
         return  # runtime blobs and legacy tags: nothing to re-derive
@@ -329,7 +333,8 @@ def _check_trampoline(img: _OutputImage, by_addr: dict[int, Instruction],
 
     if kind == "evictee" and is_endbr64(insn):
         report.findings.append(Finding(
-            severity="warn", check="endbr", vaddr=addr,
+            severity="error" if cet else "warn",
+            check="endbr", vaddr=addr,
             message="evicted instruction is an endbr64 landing pad; "
                     "CET indirect branches to it will fault",
         ))

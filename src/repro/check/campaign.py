@@ -50,8 +50,15 @@ CAMPAIGN_BUDGET = 400_000
 
 #: Default profile sweep: one row per Table-1 category (non-PIE SPEC,
 #: PIE system binary, PIE browser) so campaigns cover both address-space
-#: geometries and all three length-mix calibrations.
-DEFAULT_PROFILES = ("bzip2", "vim", "FireFox")
+#: geometries and all three length-mix calibrations, plus the two
+#: conformance shared objects (plain and CET) so every sweep also
+#: exercises the DT_INIT-hijack loader path and endbr64 protection.
+DEFAULT_PROFILES = ("bzip2", "vim", "FireFox", "libsynth.so",
+                    "libsynth-cet.so")
+
+#: Install path assumed for conformance shared objects (the loader stub
+#: reopens the library here; the VM serves the image at this alias).
+SYNTH_LIBRARY_PATH = "/usr/lib/libsynth.so"
 
 #: Site-count range for campaign binaries (kept small: every binary is
 #: executed twice on the pure-Python VM, plus again per shrink step).
@@ -234,9 +241,15 @@ def run_one(
     # stay importable without this package.
     from repro.frontend.tool import instrument_elf
 
+    options = config.options
+    if params.shared and not options.shared:
+        options = replace(options, shared=True)
+    if options.shared and options.library_path is None:
+        options = replace(options, library_path=SYNTH_LIBRARY_PATH)
+
     try:
         report = instrument_elf(binary.data, config.matcher,
-                                options=config.options)
+                                options=options)
     except PatchError as exc:
         return EquivalenceReport(
             verdict="divergent",
@@ -244,11 +257,17 @@ def run_one(
             rewritten=RunSummary(reason="not-run"),
             divergence=Divergence(kind="rewrite_error", detail=str(exc)),
         )
+    self_paths = (options.library_path,) if params.shared else ()
     return check_rewrite(
         binary.data, report.result.data,
         b0_sites=report.result.b0_sites,
         matcher=config.matcher,
         max_instructions=max_instructions,
+        # A shared object is entered through its init hook, the way the
+        # dynamic linker reaches it (the rewritten hook runs the loader
+        # stub first); its stub reopens the library by install path.
+        entry_from_init=params.shared,
+        self_paths=self_paths,
     )
 
 

@@ -137,10 +137,27 @@ class _Cursor:
 
     def __init__(self, data: bytes, *, sites: frozenset[int],
                  traps: dict[int, bytes], stdin: bytes,
-                 budget: int) -> None:
-        self.machine = Machine(data, max_instructions=budget, stdin=stdin)
+                 budget: int, load_base: int = 0,
+                 entry_vaddr: int | None = None,
+                 entry_from_init: bool = False,
+                 self_paths: tuple[str, ...] = ()) -> None:
+        self.load_base = load_base
+        if entry_from_init and entry_vaddr is None:
+            # dlopen-style run: enter at this image's *own* init hook
+            # (the rewritten object's hook points at the loader stub).
+            from repro.elf.dynamic import find_init_target
+            from repro.elf.reader import ElfFile
+
+            target = find_init_target(ElfFile(data))
+            if target is not None:
+                entry_vaddr = target[2]
+        self.machine = Machine(data, max_instructions=budget, stdin=stdin,
+                               load_base=load_base, entry_vaddr=entry_vaddr,
+                               self_path_aliases=tuple(self_paths))
         for vaddr, insn_bytes in traps.items():
-            self.machine.register_trap(vaddr, TrapHandler(insn_bytes=insn_bytes))
+            # Sites are link-time vaddrs; handlers key on runtime rip.
+            self.machine.register_trap(load_base + vaddr,
+                                       TrapHandler(insn_bytes=insn_bytes))
         self.sites = sites
         self.b0_sites = frozenset(traps)
         self.b0_visits = 0
@@ -162,8 +179,12 @@ class _Cursor:
             if m.cpu.icount >= self.budget:
                 self.finished = True
                 self.reason = "budget"
-                return self._emit("budget", m.cpu.state.rip, None)
-            rip = m.cpu.state.rip
+                return self._emit("budget",
+                                  m.cpu.state.rip - self.load_base, None)
+            # Normalize to link-time vaddrs so the event stream is
+            # invariant under the runtime load base (a rewritten PIE or
+            # shared object must behave identically wherever it lands).
+            rip = m.cpu.state.rip - self.load_base
             if not self._skip_site_check and rip in self.sites:
                 self._skip_site_check = True
                 if rip in self.b0_sites:
@@ -264,6 +285,10 @@ def check_equivalence(
     stdin: bytes = b"",
     max_instructions: int = DEFAULT_BUDGET,
     max_events: int = DEFAULT_MAX_EVENTS,
+    load_base: int = 0,
+    entry_vaddr: int | None = None,
+    entry_from_init: bool = False,
+    self_paths: tuple[str, ...] = (),
 ) -> EquivalenceReport:
     """Differentially execute *original* and *rewritten* and compare.
 
@@ -275,13 +300,29 @@ def check_equivalence(
     ``"unsupported"`` means the *original* image itself cannot be judged
     by the VM (it faulted or exhausted the instruction budget), so no
     claim is made either way.
+
+    *load_base* maps both images at a nonzero base (dlopen-style, only
+    meaningful for ET_DYN/PIE images); *sites*, *traps* and all reported
+    event vaddrs stay link-time, so reports from different bases are
+    directly comparable.  *entry_vaddr* overrides the entry point with a
+    link-time vaddr — e.g. a shared object's ``DT_INIT`` target.
+    *entry_from_init* instead enters each image at its *own* current
+    init hook (DT_INIT / first INIT_ARRAY slot), which is how the
+    dynamic linker reaches a library — and how the rewritten object's
+    loader stub gets control.  *self_paths* lists extra paths at which
+    the VM's ``open`` serves the image (a rewritten library reopens
+    itself by its install path).
     """
     watch = frozenset(sites)
     handlers = dict(traps or {})
     orig = _Cursor(original, sites=watch, traps=handlers, stdin=stdin,
-                   budget=max_instructions)
+                   budget=max_instructions, load_base=load_base,
+                   entry_vaddr=entry_vaddr, entry_from_init=entry_from_init,
+                   self_paths=self_paths)
     new = _Cursor(rewritten, sites=watch, traps=handlers, stdin=stdin,
-                  budget=max_instructions * REWRITTEN_BUDGET_FACTOR + 10_000)
+                  budget=max_instructions * REWRITTEN_BUDGET_FACTOR + 10_000,
+                  load_base=load_base, entry_vaddr=entry_vaddr,
+                  entry_from_init=entry_from_init, self_paths=self_paths)
 
     compared = 0
     divergence: Divergence | None = None
@@ -426,6 +467,9 @@ def check_rewrite(
     frontend: str = "linear",
     stdin: bytes = b"",
     max_instructions: int = DEFAULT_BUDGET,
+    load_base: int = 0,
+    entry_from_init: bool = False,
+    self_paths: tuple[str, ...] = (),
 ) -> EquivalenceReport:
     """One-call oracle for a finished rewrite: derive the watch set and
     B0 trap handlers from the original image, then run
@@ -434,5 +478,6 @@ def check_rewrite(
                                    frontend=frontend)
     return check_equivalence(
         original, rewritten, sites=sites, traps=traps, stdin=stdin,
-        max_instructions=max_instructions,
+        max_instructions=max_instructions, load_base=load_base,
+        entry_from_init=entry_from_init, self_paths=self_paths,
     )

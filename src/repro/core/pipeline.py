@@ -91,6 +91,11 @@ class RewriteOptions:
     # Run LintPass after emission: statically re-derive and check the
     # rewrite's invariants (repro.analysis.lint); errors raise PatchError.
     lint: bool = False
+    # CET/IBT awareness: endbr64 landing pads become hard constraints for
+    # every tactic and endbr-clobber lint findings become errors.  None
+    # auto-detects from the input (GNU property note, else endbr64
+    # presence in executable segments); True/False force the mode.
+    cet: bool | None = None
 
     def resolve_mode(self) -> str:
         if self.mode != "auto":
@@ -174,6 +179,9 @@ class RewriteContext:
     # LintPass product (a repro.analysis.lint.LintReport; loosely typed
     # for the same reason).
     lint: object | None = None
+    # Resolved CET mode (options.cet, auto-detected from the input when
+    # None); set by prepare_workspace.
+    cet: bool = False
     # Block-aligned metadata allocations (phdr table, loader stub) as
     # (vaddr, size) — recorded so the linter can prove no trampoline
     # shares a block with them.
@@ -213,9 +221,12 @@ class RewriteContext:
         self.space.pack_pages = self.options.pack_allocations
         for lo, hi in self.options.reserve_extra:
             self.space.reserve(lo, hi)
+        self.cet = (self.options.cet if self.options.cet is not None
+                    else self.elf.is_cet_enabled())
         self.tactics = TacticContext(
             image=self.image, space=self.space,
             instructions=self.instructions or [],
+            cet=self.cet,
         )
 
     # -- injected runtime code/data (must precede planning) -------------
@@ -565,7 +576,7 @@ class EmitPass(PipelinePass):
             stub_vaddr = ctx.allocate_exclusive(stub_size)
             stub = build_loader(
                 stub_vaddr, mappings, original_init,
-                pie=True, self_path=path,
+                pie=True, self_path=path, cet=ctx.cet,
             )
             if len(stub) > stub_size:
                 raise PatchError("loader stub exceeded its size estimate")
@@ -583,7 +594,8 @@ class EmitPass(PipelinePass):
         stub_size = loader_size_estimate(len(mappings))
         stub_vaddr = ctx.allocate_exclusive(stub_size)
         stub = build_loader(
-            stub_vaddr, mappings, ctx.elf.entry, pie=ctx.elf.is_pie
+            stub_vaddr, mappings, ctx.elf.entry, pie=ctx.elf.is_pie,
+            cet=ctx.cet,
         )
         if len(stub) > stub_size:
             raise PatchError("loader stub exceeded its size estimate")
@@ -720,9 +732,16 @@ class EquivalencePass(PipelinePass):
             site: bytes(by_addr[site].raw)
             for site in ctx.b0_sites if site in by_addr
         }
+        # A shared object is entered through its init hook (dlopen-style)
+        # — the rewritten image only maps its trampolines once the loader
+        # stub installed over DT_INIT has run; e_entry would skip it.
+        shared = ctx.options.shared
+        self_paths = ((ctx.options.library_path,)
+                      if shared and ctx.options.library_path else ())
         report = check_equivalence(
             ctx.elf.data, ctx.output, sites=sites, traps=traps,
             max_instructions=self.max_instructions or DEFAULT_BUDGET,
+            entry_from_init=shared, self_paths=self_paths,
         )
         ctx.equivalence = report
         obs = ctx.observer

@@ -17,6 +17,7 @@ from repro.errors import PatchError
 from repro.core.allocator import AddressSpace
 from repro.core.binary import CodeImage
 from repro.core.puns import PunWindow, pun_windows, short_jump_spec
+from repro.elf.constants import ENDBR64
 from repro.core.trampoline import (
     Empty,
     Instrumentation,
@@ -111,6 +112,11 @@ class Transaction:
 _EMPTY = Empty()
 
 
+def is_endbr64_insn(insn: Instruction) -> bool:
+    """True when *insn* is the IBT landing pad (F3 0F 1E FA)."""
+    return insn.length == 4 and bytes(insn.raw[:4]) == ENDBR64
+
+
 @dataclass
 class TacticContext:
     """Everything a tactic needs: image, allocator, instruction index.
@@ -127,6 +133,10 @@ class TacticContext:
     space: AddressSpace
     instructions: Sequence[Instruction]  # sorted by address (linear stream)
     max_eviction_probes: int = 1
+    #: CET/IBT mode: endbr64 landing pads are hard constraints — no
+    #: tactic may overwrite or pun through one (an indirect branch to a
+    #: clobbered pad would fault under IBT enforcement).
+    cet: bool = False
     _addrs: list[int] = field(default_factory=list)
     _pw_cache: dict = field(default_factory=dict)
     _pw_version: int = -1
@@ -140,6 +150,11 @@ class TacticContext:
             self._addrs = addrs()
         else:
             self._addrs = [i.address for i in self.instructions]
+
+    def protects(self, insn: Instruction) -> bool:
+        """True when *insn* is an IBT landing pad this rewrite must keep
+        byte-identical (only in CET mode)."""
+        return self.cet and is_endbr64_insn(insn)
 
     def insn_at(self, addr: int) -> Instruction | None:
         """Instruction starting exactly at *addr*."""
@@ -268,6 +283,8 @@ def try_direct(
     back — and skipping the undo log (old-byte reads + lock snapshots)
     keeps the most common tactic on the fast path.
     """
+    if ctx.protects(insn):
+        return None  # never pun through an IBT landing pad
     space = ctx.space
     image = ctx.image
     size = ctx.trampoline_size(insn, instr)
@@ -311,9 +328,13 @@ def try_successor_eviction(
 ) -> SitePatch | None:
     """Evict the successor instruction, then re-attempt punning at the site
     against the successor's new (jump) bytes."""
+    if ctx.protects(insn):
+        return None
     succ = ctx.insn_at(insn.end)
     if succ is None:
         return None
+    if ctx.protects(succ):
+        return None  # evicting a landing pad would break IBT targets
     if not ctx.image.is_writable(succ.address, succ.length):
         return None  # successor already patched/locked
 
@@ -379,6 +400,8 @@ def try_neighbour_eviction(
     V's head is replaced by a punned ``J_victim`` to V's evictee
     trampoline, preserving V's semantics for any jump that targets it.
     """
+    if ctx.protects(insn):
+        return None
     spec = short_jump_spec(ctx.image, insn.address, insn.length)
     if spec is None:
         return None
@@ -410,6 +433,8 @@ def try_neighbour_eviction(
             continue
         if victim.address < insn.end:
             continue  # victim must lie entirely after the patch site
+        if ctx.protects(victim):
+            continue  # a landing-pad victim must stay byte-identical
         if not ctx.image.is_writable(victim.address, victim.length):
             continue
         tried += 1
@@ -451,6 +476,10 @@ def apply_int3(ctx: TacticContext, insn: Instruction) -> SitePatch | None:
     """Replace the first byte with int3; a trap handler implements the
     patch (orders of magnitude slower — used only as an explicit
     fallback)."""
+    if ctx.protects(insn):
+        # int3 would replace the endbr64 opcode: an IBT-checked indirect
+        # branch to the site faults (#CP) before the trap even fires.
+        return None
     if not ctx.image.is_writable(insn.address, 1):
         return None
     tx = Transaction(ctx.image, ctx.space)

@@ -180,12 +180,20 @@ class Counter(Instrumentation):
     red-zone ``lea`` pair goes away once nothing touches the stack.
     The fully slimmed body is ``movabs; incq`` — 13 bytes and 2 dynamic
     instructions versus the blind 30 bytes and 8.
+
+    With ``pic=True`` the increment is a single ``incq disp32(%rip)``:
+    the counter lives in the image's own runtime-data segment, so the
+    trampoline-to-counter displacement is load-base-invariant — required
+    for ET_DYN images (shared objects, PIE), whose ``movabs`` link-time
+    address would be wrong at any nonzero base.  No scratch register is
+    needed, so only the flags save remains to slim away.
     """
 
     name = "counter"
 
-    def __init__(self, counter_vaddr: int) -> None:
+    def __init__(self, counter_vaddr: int, *, pic: bool = False) -> None:
         self.counter_vaddr = counter_vaddr
+        self.pic = pic
 
     def _site_plan(self, insn: Instruction) -> tuple[int, bool, bool]:
         """(scratch reg, save that reg?, save flags?) for this site."""
@@ -198,10 +206,24 @@ class Counter(Instrumentation):
         return (enc.RAX, True, not live.flags_are_dead(_INC_FLAGS))
 
     def _saved_reg_count(self, insn: Instruction) -> int:
+        if self.pic:
+            return 0
         _, save_reg, _ = self._site_plan(insn)
         return 1 if save_reg else 0
 
     def emit(self, asm: enc.Assembler, insn: Instruction) -> None:
+        if self.pic:
+            live = self.site_liveness(insn)
+            save_flags = (live is None
+                          or not live.flags_are_dead(_INC_FLAGS))
+            if save_flags:
+                asm.raw(b"\x48\x8d\x64\x24\x80")  # lea -0x80(%rsp), %rsp
+                asm.pushfq()
+            asm.inc_mem64_rip(self.counter_vaddr)
+            if save_flags:
+                asm.popfq()
+                asm.raw(b"\x48\x8d\xa4\x24\x80\x00\x00\x00")
+            return
         scratch, save_reg, save_flags = self._site_plan(insn)
         # Any push dips below %rsp, so the red-zone adjustment is needed
         # exactly when something is saved.

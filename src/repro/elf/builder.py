@@ -3,20 +3,46 @@
 Used by tests and examples to create fully controlled input binaries that
 run natively on Linux (no libc, direct syscalls).  Supports both non-PIE
 (ET_EXEC at a fixed low base, the paper's "hard" case) and PIE (ET_DYN)
-layouts.
+layouts, plus a shared-object mode (``shared=True``) that adds the
+dynamic machinery a loader-mode rewrite needs to hijack: a writable
+``.dynamic`` array with ``DT_INIT``, a ``.dynsym``/``.dynstr`` export
+table, ``.gnu.hash``, and a ``PT_DYNAMIC`` segment.  ``cet_note=True``
+additionally embeds a ``.note.gnu.property`` advertising IBT, matching
+what ``gcc -fcf-protection`` produces on note-emitting toolchains.
 """
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.elf import constants as c
+from repro.elf import dynamic as d
 from repro.elf.structs import Ehdr, Phdr, Shdr
 from repro.x86.encoder import Assembler
 
 NONPIE_BASE = 0x400000
-HEADER_ROOM = 0x1000  # ehdr + phdrs fit in the first page
+HEADER_ROOM = 0x1000  # ehdr + phdrs (+ property note) fit in the first page
+
+
+def gnu_hash(name: bytes) -> int:
+    """The GNU symbol-hash function (dl-new-hash)."""
+    h = 5381
+    for b in name:
+        h = (h * 33 + b) & 0xFFFFFFFF
+    return h
+
+
+def build_gnu_property_note(features: int = c.GNU_PROPERTY_X86_FEATURE_1_IBT) -> bytes:
+    """A ``.note.gnu.property`` blob advertising x86 feature bits."""
+    desc = struct.pack(
+        "<II4s4x", c.GNU_PROPERTY_X86_FEATURE_1_AND, 4,
+        features.to_bytes(4, "little"),
+    )
+    return struct.pack(
+        "<III4s", 4, len(desc), c.NT_GNU_PROPERTY_TYPE_0, b"GNU\x00"
+    ) + desc
 
 
 @dataclass
@@ -40,9 +66,21 @@ class TinyProgram:
     # e.g. to pre-map the low-fat heap regions so hardened workloads run
     # both natively and in the VM.
     extra_segments: list[tuple[int, int]] = field(default_factory=list)
+    #: Shared-object mode: ET_DYN with PT_DYNAMIC, .dynamic (DT_INIT at
+    #: the text entry), .dynsym/.dynstr exports and .gnu.hash.
+    shared: bool = False
+    #: Embed a .note.gnu.property advertising IBT (CET marker).
+    cet_note: bool = False
+    #: DT_INIT target; defaults to the text entry point.
+    init_vaddr: int | None = None
+    #: Exported (name, vaddr) pairs for .dynsym; defaults to a single
+    #: "_repro_init" export at the init target.
+    export_symbols: list[tuple[str, int]] = field(default_factory=list)
     _text: Assembler | None = None
 
     def __post_init__(self) -> None:
+        if self.shared:
+            self.pie = True
         if self.pie:
             self.base = 0
         self._text = Assembler(base=self.text_vaddr)
@@ -103,6 +141,74 @@ class TinyProgram:
 
     # -- emission -------------------------------------------------------------
 
+    def _dynamic_machinery(
+        self, data_len: int, data_vaddr: int
+    ) -> tuple[bytes, dict[str, tuple[int, int]]]:
+        """Build .dynstr/.dynsym/.gnu.hash/.dynamic image bytes appended
+        to the data segment at *data_len*; returns (bytes, name ->
+        (segment offset, size)) for the program/section headers."""
+        init = self.init_vaddr if self.init_vaddr is not None else self.text_vaddr
+        exports = self.export_symbols or [("_repro_init", init)]
+
+        dynstr = bytearray(b"\x00")
+        name_offs = []
+        for name, _ in exports:
+            name_offs.append(len(dynstr))
+            dynstr.extend(name.encode() + b"\x00")
+
+        # Null symbol + one GLOBAL FUNC per export, defined in .text (1).
+        # Extents span to the next export (or text end), the way a real
+        # linker records them — symbol-table consumers drop zero-sized
+        # entries.
+        text_end = self.text_vaddr + len(self.text.buf)
+        svaddrs = sorted(v for _, v in exports)
+        ends = {v: (svaddrs[i + 1] if i + 1 < len(svaddrs) else text_end)
+                for i, v in enumerate(svaddrs)}
+        dynsym = bytearray(struct.pack("<IBBHQQ", 0, 0, 0, 0, 0, 0))
+        for (name, vaddr), noff in zip(exports, name_offs):
+            size = max(1, ends.get(vaddr, text_end) - vaddr)
+            dynsym.extend(struct.pack("<IBBHQQ", noff, 0x12, 0, 1,
+                                      vaddr, size))
+
+        # A one-bucket GNU hash table: every export chains from bucket 0
+        # in dynsym order; the last chain entry carries the stop bit.
+        hashes = [gnu_hash(name.encode()) for name, _ in exports]
+        chain = [h & ~1 for h in hashes]
+        if chain:
+            chain[-1] = hashes[-1] | 1
+        gnuhash = struct.pack("<IIII", 1, 1, 1, 6)
+        gnuhash += (0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")  # bloom: pass
+        gnuhash += struct.pack("<I", 1 if exports else 0)
+        gnuhash += b"".join(struct.pack("<I", h) for h in chain)
+
+        blob = bytearray()
+        layout: dict[str, tuple[int, int]] = {}
+
+        def place(name: str, payload: bytes) -> int:
+            blob.extend(b"\x00" * ((-len(blob)) % 8))
+            off = data_len + len(blob)
+            layout[name] = (off, len(payload))
+            blob.extend(payload)
+            return data_vaddr + off
+
+        str_vaddr = place(".dynstr", bytes(dynstr))
+        sym_vaddr = place(".dynsym", bytes(dynsym))
+        hash_vaddr = place(".gnu.hash", gnuhash)
+        dyn = b"".join(
+            struct.pack("<qQ", tag, value)
+            for tag, value in (
+                (d.DT_INIT, init),
+                (d.DT_GNU_HASH, hash_vaddr),
+                (d.DT_STRTAB, str_vaddr),
+                (d.DT_SYMTAB, sym_vaddr),
+                (d.DT_STRSZ, len(dynstr)),
+                (d.DT_SYMENT, 24),
+                (d.DT_NULL, 0),
+            )
+        )
+        place(".dynamic", dyn)
+        return bytes(blob), layout
+
     def build(self) -> bytes:
         """Assemble the final ELF image."""
         text_bytes = self.text.bytes()
@@ -119,6 +225,13 @@ class TinyProgram:
             c.PAGE_SIZE - 1
         )
         data_vaddr = self._data_vaddr()
+
+        dyn_layout: dict[str, tuple[int, int]] = {}
+        if self.shared:
+            dyn_blob, dyn_layout = self._dynamic_machinery(
+                len(data_bytes), data_vaddr
+            )
+            data_bytes.extend(dyn_blob)
 
         phdrs = [
             Phdr(  # headers (read-only)
@@ -144,6 +257,16 @@ class TinyProgram:
                     align=c.PAGE_SIZE,
                 )
             )
+        if self.shared:
+            dyn_off, dyn_size = dyn_layout[".dynamic"]
+            phdrs.append(
+                Phdr(
+                    type=c.PT_DYNAMIC, flags=c.PF_R | c.PF_W,
+                    offset=data_off + dyn_off, vaddr=data_vaddr + dyn_off,
+                    paddr=data_vaddr + dyn_off,
+                    filesz=dyn_size, memsz=dyn_size, align=8,
+                )
+            )
         for seg_vaddr, seg_memsz in self.extra_segments:
             phdrs.append(
                 Phdr(
@@ -159,21 +282,69 @@ class TinyProgram:
                 vaddr=0, paddr=0, filesz=0, memsz=0, align=16,
             )
         )
+        note = b""
+        if self.cet_note:
+            note = build_gnu_property_note()
+            phdrs.append(
+                Phdr(  # placeholder; offset patched once phnum is final
+                    type=c.PT_NOTE, flags=c.PF_R, offset=0, vaddr=0,
+                    paddr=0, filesz=len(note), memsz=len(note), align=8,
+                )
+            )
+        note_off = (c.EHDR_SIZE + len(phdrs) * c.PHDR_SIZE + 7) & ~7
+        if note:
+            phdrs[-1].offset = note_off
+            phdrs[-1].vaddr = phdrs[-1].paddr = self.base + note_off
 
-        # Section headers: null, .text, .data, .shstrtab — so frontends can
-        # locate .text the same way they would in a compiler-produced binary.
-        shstrtab = b"\x00.text\x00.data\x00.shstrtab\x00"
-        file_end = data_off + len(data_bytes) if have_data else text_off + len(text_bytes)
-        shstr_off = file_end
-        shoff = shstr_off + len(shstrtab)
-        shdrs = [
-            Shdr(0, c.SHT_NULL, 0, 0, 0, 0, 0, 0, 0, 0),
-            Shdr(1, c.SHT_PROGBITS, c.SHF_ALLOC | c.SHF_EXECINSTR,
-                 text_vaddr, text_off, len(text_bytes), 0, 0, 16, 0),
-            Shdr(7, c.SHT_PROGBITS, c.SHF_ALLOC | c.SHF_WRITE,
-                 data_vaddr, data_off, len(data_bytes), 0, 0, 8, 0),
-            Shdr(13, c.SHT_STRTAB, 0, 0, shstr_off, len(shstrtab), 0, 0, 1, 0),
+        # Section headers — so frontends can locate .text (and the
+        # dynamic machinery) the same way they would in a compiler-
+        # produced binary.  .text must stay at index 1 (dynsym st_shndx).
+        sec_specs: list[tuple[str, Shdr]] = [
+            ("", Shdr(0, c.SHT_NULL, 0, 0, 0, 0, 0, 0, 0, 0)),
+            (".text", Shdr(0, c.SHT_PROGBITS, c.SHF_ALLOC | c.SHF_EXECINSTR,
+                           text_vaddr, text_off, len(text_bytes), 0, 0, 16, 0)),
+            (".data", Shdr(0, c.SHT_PROGBITS, c.SHF_ALLOC | c.SHF_WRITE,
+                           data_vaddr, data_off, len(data_bytes), 0, 0, 8, 0)),
         ]
+        if note:
+            sec_specs.append(
+                (".note.gnu.property",
+                 Shdr(0, c.SHT_NOTE, c.SHF_ALLOC, self.base + note_off,
+                      note_off, len(note), 0, 0, 8, 0))
+            )
+        if self.shared:
+            dynstr_index = len(sec_specs) + 1  # .dynstr follows .dynsym
+            sec_types = {
+                ".dynsym": (c.SHT_DYNSYM, dynstr_index, 24),
+                ".dynstr": (c.SHT_STRTAB, 0, 0),
+                ".gnu.hash": (c.SHT_GNU_HASH, dynstr_index - 1, 0),
+                ".dynamic": (c.SHT_DYNAMIC, dynstr_index, 16),
+            }
+            for name in (".dynsym", ".dynstr", ".gnu.hash", ".dynamic"):
+                off, size = dyn_layout[name]
+                sh_type, link, entsize = sec_types[name]
+                sec_specs.append(
+                    (name,
+                     Shdr(0, sh_type, c.SHF_ALLOC, data_vaddr + off,
+                          data_off + off, size, link,
+                          1 if name == ".dynsym" else 0, 8, entsize))
+                )
+        sec_specs.append((".shstrtab", Shdr(0, c.SHT_STRTAB, 0, 0, 0, 0,
+                                            0, 0, 1, 0)))
+
+        shstrtab = bytearray(b"\x00")
+        shdrs = []
+        for name, sh in sec_specs:
+            if name:
+                sh.name = len(shstrtab)
+                shstrtab.extend(name.encode() + b"\x00")
+            shdrs.append(sh)
+        file_end = (data_off + len(data_bytes) if have_data
+                    else text_off + len(text_bytes))
+        shstr_off = file_end
+        shdrs[-1].offset = shstr_off
+        shdrs[-1].size = len(shstrtab)
+        shoff = shstr_off + len(shstrtab)
 
         ehdr = Ehdr.new(
             entry=text_vaddr,
@@ -182,13 +353,16 @@ class TinyProgram:
             type=c.ET_DYN if self.pie else c.ET_EXEC,
             shoff=shoff,
             shnum=len(shdrs),
-            shstrndx=3,
+            shstrndx=len(shdrs) - 1,
         )
 
         out = bytearray()
         out.extend(ehdr.pack())
         for p in phdrs:
             out.extend(p.pack())
+        if note:
+            out.extend(b"\x00" * (note_off - len(out)))
+            out.extend(note)
         if len(out) > HEADER_ROOM:
             raise OverflowError("too many program headers for header page")
         out.extend(b"\x00" * (HEADER_ROOM - len(out)))

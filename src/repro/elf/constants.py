@@ -41,8 +41,13 @@ SHT_NULL = 0
 SHT_PROGBITS = 1
 SHT_SYMTAB = 2
 SHT_STRTAB = 3
+SHT_RELA = 4
+SHT_HASH = 5
+SHT_DYNAMIC = 6
+SHT_NOTE = 7
 SHT_NOBITS = 8
 SHT_DYNSYM = 11
+SHT_GNU_HASH = 0x6FFFFFF6
 
 # Section flags
 SHF_WRITE = 1
@@ -73,3 +78,12 @@ MAP_FIXED = 0x10
 MAP_ANONYMOUS = 0x20
 
 O_RDONLY = 0
+
+# GNU property notes (.note.gnu.property): CET/IBT feature advertisement.
+NT_GNU_PROPERTY_TYPE_0 = 5
+GNU_PROPERTY_X86_FEATURE_1_AND = 0xC0000002
+GNU_PROPERTY_X86_FEATURE_1_IBT = 1
+GNU_PROPERTY_X86_FEATURE_1_SHSTK = 2
+
+#: The endbr64 IBT landing-pad instruction (F3 0F 1E FA).
+ENDBR64 = b"\xf3\x0f\x1e\xfa"

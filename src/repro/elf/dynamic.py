@@ -17,11 +17,17 @@ from repro.elf import constants as c
 from repro.elf.reader import ElfFile
 
 DT_NULL = 0
+DT_HASH = 4
+DT_STRTAB = 5
+DT_SYMTAB = 6
+DT_STRSZ = 10
+DT_SYMENT = 11
 DT_INIT = 12
 DT_FINI = 13
 DT_INIT_ARRAY = 25
 DT_INIT_ARRAYSZ = 27
 DT_FLAGS = 30
+DT_GNU_HASH = 0x6FFFFEF5
 DT_FLAGS_1 = 0x6FFFFFFB
 
 _ENTRY = struct.Struct("<qQ")  # d_tag, d_un

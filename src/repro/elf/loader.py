@@ -48,6 +48,7 @@ def build_loader(
     *,
     pie: bool,
     self_path: str = "/proc/self/exe",
+    cet: bool = False,
 ) -> bytes:
     """Assemble the loader stub + mapping table at *stub_vaddr*.
 
@@ -57,8 +58,14 @@ def build_loader(
     If the open fails at runtime the stub reports and exits with
     ``LOADER_FAIL_EXIT`` rather than crash later on an unmapped
     trampoline.
+
+    *cet* prefixes the stub with ``endbr64``: when it is installed as a
+    shared object's ``DT_INIT`` the dynamic linker reaches it through an
+    indirect call, which IBT enforcement would otherwise fault.
     """
     a = enc.Assembler(base=stub_vaddr)
+    if cet:
+        a.raw(c.ENDBR64)
 
     # Reserve a stack slot for the tail-jump target, then save registers.
     a.push(enc.RAX)  # placeholder slot

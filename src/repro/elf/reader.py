@@ -86,6 +86,22 @@ class ElfFile:
         return self.ehdr.type == c.ET_DYN
 
     @property
+    def elf_type(self) -> str:
+        """The e_type as its standard name (``"ET_EXEC"``/``"ET_DYN"``)."""
+        return {c.ET_EXEC: "ET_EXEC", c.ET_DYN: "ET_DYN"}.get(
+            self.ehdr.type, f"ET_{self.ehdr.type:#x}"
+        )
+
+    @property
+    def is_shared_object(self) -> bool:
+        """True for ET_DYN objects carrying a PT_DYNAMIC segment (a PIE
+        executable is also ET_DYN + PT_DYNAMIC; the distinction the
+        rewriter cares about is ET_DYN-ness, not executability)."""
+        return self.ehdr.type == c.ET_DYN and any(
+            p.type == c.PT_DYNAMIC for p in self.phdrs
+        )
+
+    @property
     def entry(self) -> int:
         return self.ehdr.entry
 
@@ -162,6 +178,78 @@ class ElfFile:
         if sec.shdr.type == c.SHT_NOBITS:
             return memoryview(b"\x00" * sec.size)
         return memoryview(self.data)[sec.offset : sec.offset + sec.size]
+
+    # -- CET / IBT detection -----------------------------------------------------
+
+    def _note_regions(self) -> list[bytes]:
+        """Raw byte ranges that may hold ELF notes: every SHT_NOTE
+        section plus every PT_NOTE segment (stripped binaries keep the
+        segment even when the section table is gone)."""
+        regions = []
+        for sec in self._sections:
+            if sec.shdr.type == c.SHT_NOTE and sec.size:
+                regions.append(self.data[sec.offset : sec.offset + sec.size])
+        for p in self.phdrs:
+            if p.type == c.PT_NOTE and p.filesz:
+                regions.append(self.data[p.offset : p.offset + p.filesz])
+        return regions
+
+    @property
+    def has_ibt_note(self) -> bool:
+        """True when a ``.note.gnu.property`` note advertises IBT
+        (GNU_PROPERTY_X86_FEATURE_1_AND with the IBT bit set)."""
+        for region in self._note_regions():
+            if self._ibt_in_notes(region):
+                return True
+        return False
+
+    @staticmethod
+    def _ibt_in_notes(region: bytes) -> bool:
+        """Walk one note region looking for the x86 feature property."""
+        import struct
+
+        off = 0
+        while off + 12 <= len(region):
+            namesz, descsz, ntype = struct.unpack_from("<III", region, off)
+            off += 12
+            name = region[off : off + namesz]
+            off += (namesz + 3) & ~3
+            desc = region[off : off + descsz]
+            off += (descsz + 3) & ~3
+            if ntype != c.NT_GNU_PROPERTY_TYPE_0 or name != b"GNU\x00":
+                continue
+            # desc: a sequence of (pr_type u32, pr_datasz u32, data...)
+            # entries, each padded to 8 bytes on ELF64.
+            p = 0
+            while p + 8 <= len(desc):
+                pr_type, pr_datasz = struct.unpack_from("<II", desc, p)
+                p += 8
+                data = desc[p : p + pr_datasz]
+                p += (pr_datasz + 7) & ~7
+                if (pr_type == c.GNU_PROPERTY_X86_FEATURE_1_AND
+                        and len(data) >= 4):
+                    features = int.from_bytes(data[:4], "little")
+                    if features & c.GNU_PROPERTY_X86_FEATURE_1_IBT:
+                        return True
+        return False
+
+    def is_cet_enabled(self) -> bool:
+        """Best-effort CET/IBT detection.
+
+        The authoritative signal is the GNU property note; toolchains
+        exist (this container's binutils among them) that emit endbr64
+        instructions under ``-fcf-protection`` without writing the note,
+        so fall back to scanning executable segments for any endbr64
+        byte pattern.  False positives from data-in-text are harmless:
+        they only make the rewriter more conservative.
+        """
+        if self.has_ibt_note:
+            return True
+        for p in self.phdrs:
+            if p.type == c.PT_LOAD and p.flags & c.PF_X:
+                if c.ENDBR64 in self.data[p.offset : p.offset + p.filesz]:
+                    return True
+        return False
 
     # -- address translation ----------------------------------------------------
 

@@ -137,9 +137,19 @@ OPTION_COMBOS: dict[str, OptionCombo] = {
 }
 
 #: Synthesis-profile axis: one row per Table-1 category in the PR suite
-#: (non-PIE SPEC, PIE system, PIE browser), widened in the full suite.
-PR_PROFILES: tuple[str, ...] = ("bzip2", "vim", "FireFox")
-FULL_PROFILES: tuple[str, ...] = ("bzip2", "gcc", "vim", "xterm", "FireFox")
+#: (non-PIE SPEC, PIE system, PIE browser) plus the CET conformance
+#: shared object (ET_DYN, DT_INIT-hijack loader, endbr64 landing pads),
+#: widened in the full suite.
+PR_PROFILES: tuple[str, ...] = ("bzip2", "vim", "FireFox", "libsynth-cet.so")
+FULL_PROFILES: tuple[str, ...] = (
+    "bzip2", "gcc", "vim", "xterm", "FireFox", "libsynth.so",
+    "libsynth-cet.so",
+)
+
+#: dlopen-style load base used when judging shared-object cells: a
+#: mmap-region address far from the link-time image, so displacement
+#: bugs that cancel out at base 0 cannot hide.
+SO_ORACLE_BASE = 0x7F12_3456_0000
 
 PR_PATCH_CONFIGS: tuple[str, ...] = ("full-jumps",)
 FULL_PATCH_CONFIGS: tuple[str, ...] = (
@@ -242,6 +252,9 @@ class CellResult:
 
     cell: MatrixCell
     metrics: dict[str, float | int] = field(default_factory=dict)
+    #: Non-numeric cell metadata (ELF type, CET), kept out of ``metrics``
+    #: so the trend gate's numeric comparisons never see strings.
+    meta: dict = field(default_factory=dict)
     verdict: str = "ok"  # "ok" | "divergent" | "unsupported" | "error"
     error: str | None = None
 
@@ -256,6 +269,7 @@ class CellResult:
             "combo": self.cell.combo,
             "verdict": self.verdict,
             "error": self.error,
+            "meta": dict(self.meta),
             "metrics": {
                 k: round(v, 6) if isinstance(v, float) else v
                 for k, v in sorted(self.metrics.items())
@@ -293,6 +307,22 @@ def oracle_params(profile_name: str) -> SynthesisParams:
     )
 
 
+def _profile_options(profile_name: str, options: RewriteOptions) -> RewriteOptions:
+    """Adapt a patch config's options to the profile's binary kind.
+
+    Shared-object profiles synthesize real ET_DYN images: the rewrite
+    needs ``shared`` mode and a library install path for the loader stub
+    to reopen (``/proc/self/exe`` names the host executable, not the
+    library).
+    """
+    profile = profile_by_name(profile_name)
+    if profile.shared and not options.shared:
+        options = replace(options, shared=True)
+    if options.shared and options.library_path is None:
+        options = replace(options, library_path=f"/usr/lib/{profile.name}")
+    return options
+
+
 def _parallel_batch(options: RewriteOptions) -> list[RewriteOptions]:
     """The 4-configuration fan-out used by ``parallel`` combos: the
     cell's nominal options first (its metrics come from that report),
@@ -313,12 +343,14 @@ def _measure_oracle(cell: MatrixCell, metrics: dict) -> str:
     from repro.frontend.tool import instrument_elf
 
     spec = cell.spec
+    options = _profile_options(cell.profile, spec.options)
+    shared = options.shared and profile_by_name(cell.profile).shared
     binary = synthesize(oracle_params(cell.profile))
     report = instrument_elf(
         binary.data,
         spec.matcher,
         instrumentation=spec.instrumentation,
-        options=spec.options,
+        options=options,
     )
     oracle = check_rewrite(
         binary.data,
@@ -326,6 +358,11 @@ def _measure_oracle(cell: MatrixCell, metrics: dict) -> str:
         b0_sites=report.result.b0_sites,
         matcher=spec.matcher,
         max_instructions=ORACLE_BUDGET,
+        # Shared-object cells are judged dlopen-style: entered through
+        # their init hook at a nonzero load base.
+        load_base=SO_ORACLE_BASE if shared else 0,
+        entry_from_init=shared,
+        self_paths=(options.library_path,) if shared else (),
     )
     metrics["oracle_events"] = oracle.events_compared
     if oracle.verdict == "equivalent" and oracle.original.instructions > 0:
@@ -340,6 +377,7 @@ def _measure_workload(
     *,
     jobs: int,
     max_sites: int,
+    meta: dict | None = None,
 ) -> dict[str, float | int]:
     """One timed workload measurement for *cell* (see :func:`run_cell`).
 
@@ -358,9 +396,17 @@ def _measure_workload(
     metrics: dict[str, float | int] = {}
     # Every workload rewrite runs under the static linter: lint_errors is
     # a correctness metric (expected 0 — a LintError fails the cell).
-    options = replace(spec.options, check=combo.check, lint=True)
+    options = replace(_profile_options(cell.profile, spec.options),
+                      check=combo.check, lint=True)
     binary = synthesize(workload_params(cell.profile, max_sites=max_sites))
     metrics["input_bytes"] = len(binary.data)
+    if meta is not None:
+        from repro.elf.reader import ElfFile
+
+        elf = ElfFile(binary.data)
+        meta["elf_type"] = elf.elf_type
+        meta["cet"] = elf.is_cet_enabled()
+        meta["cet_note"] = elf.has_ibt_note
 
     with tempfile.TemporaryDirectory(prefix="repro-matrix-") as tmp:
         cache_config = CacheConfig(root=Path(tmp)) if combo.cache else None
@@ -465,7 +511,8 @@ def run_cell(
     result = CellResult(cell=cell)
     try:
         for _ in range(max(1, repeats)):
-            measured = _measure_workload(cell, jobs=jobs, max_sites=max_sites)
+            measured = _measure_workload(cell, jobs=jobs, max_sites=max_sites,
+                                         meta=result.meta)
             result.metrics = _merge_best(result.metrics, measured)
     except PatchError as exc:
         result.verdict = "error"

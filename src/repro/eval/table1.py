@@ -84,6 +84,9 @@ def run_profile(
         mode="loader", grouping=grouping, granularity=granularity,
         toggles=toggles or TacticToggles(),
         shared=profile.shared,
+        # Shared stand-ins are real ET_DYN objects whose loader stub
+        # reopens the library by its install path (no /proc/self/exe).
+        library_path=f"/usr/lib/{profile.name}" if profile.shared else None,
         reserve_extra=reserve,
     )
     configs = [

@@ -126,6 +126,10 @@ class E9PatchSession:
         return {
             "size": len(data),
             "pie": self.elf.is_pie,
+            "type": self.elf.elf_type,
+            "shared_object": self.elf.is_shared_object,
+            "cet": self.elf.is_cet_enabled(),
+            "cet_note": self.elf.has_ibt_note,
             "entry": self.elf.entry,
         }
 

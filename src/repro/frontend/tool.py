@@ -50,6 +50,9 @@ class InstrumentReport:
     n_sites: int
     counter_vaddr: int | None = None  # set when instrumentation="counter"
     label: str = ""  # batch configuration label (rewrite_many)
+    elf_type: str = "ET_EXEC"  # input image kind ("ET_EXEC" / "ET_DYN")
+    cet: bool = False  # CET/IBT instruction set observed (note or endbr64)
+    cet_note: bool = False  # explicit GNU property note carrying the IBT bit
 
     @property
     def stats(self):
@@ -83,6 +86,11 @@ class InstrumentReport:
             "output_size": self.result.output_size,
             "size_pct": round(self.result.size_pct, 2),
             "counter_vaddr": self.counter_vaddr,
+            "binary": {
+                "type": self.elf_type,
+                "cet": self.cet,
+                "cet_note": self.cet_note,
+            },
             "stats": self.stats.row(),
             "failures": self.result.plan.failures,
             "timings": {k: round(v, 6) for k, v in self.result.timings.items()},
@@ -116,7 +124,9 @@ def _resolve_instrumentation(
         instrumentation = Empty()
     elif instrumentation == "counter":
         counter_vaddr = rewriter.add_runtime_data(4096)
-        instrumentation = Counter(counter_vaddr)
+        # ET_DYN images (shared objects, PIE) relocate at load time, so
+        # the counter access must be rip-relative, not movabs.
+        instrumentation = Counter(counter_vaddr, pic=rewriter.elf.is_pie)
     elif callable(instrumentation) and not isinstance(instrumentation,
                                                       Instrumentation):
         # A factory receiving the rewriter (for runtime code/data setup).
@@ -229,6 +239,11 @@ def _rewrite_serial(
                               jobs=jobs)
     decode_key = (cache.decode_key(base.elf.data, frontend)
                   if cache is not None else None)
+    elf_meta = {
+        "elf_type": base.elf.elf_type,
+        "cet": base.elf.is_cet_enabled(),
+        "cet_note": base.elf.has_ibt_note,
+    }
 
     site_cache: dict[object, list] = {}
     reports: list[InstrumentReport] = []
@@ -255,7 +270,8 @@ def _rewrite_serial(
                 result.timings, result.counters = (
                     shared_observer.since(run_snapshot))
                 reports.append(InstrumentReport(
-                    result=result, n_sites=n_sites, label=cfg.label))
+                    result=result, n_sites=n_sites, label=cfg.label,
+                    **elf_meta))
                 continue
             shared_observer.count("cache.output.misses")
 
@@ -272,6 +288,7 @@ def _rewrite_serial(
         reports.append(InstrumentReport(
             result=result, n_sites=len(sites),
             counter_vaddr=counter_vaddr, label=cfg.label,
+            **elf_meta,
         ))
     return reports
 
@@ -614,6 +631,13 @@ def main(argv: list[str] | None = None) -> int:
         "installed via DT_INIT)",
     )
     parser.add_argument(
+        "--cet", action=argparse.BooleanOptionalAction, default=None,
+        help="treat the binary as CET/IBT-enabled: endbr64 landing pads "
+        "are never clobbered and the loader stub carries its own endbr64 "
+        "(default: auto-detect from the GNU property note or an endbr64 "
+        "scan; --no-cet forces it off)",
+    )
+    parser.add_argument(
         "--frontend", default="linear", choices=("linear", "symbols"),
         help="disassembly frontend (symbols: per-function sweeps, for "
         "binaries mixing data into .text)",
@@ -638,6 +662,7 @@ def main(argv: list[str] | None = None) -> int:
         ),
         shared=args.shared,
         library_path=library_path,
+        cet=args.cet,
         verify=args.verify,
         liveness=args.liveness,
         lint=args.lint,

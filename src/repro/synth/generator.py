@@ -33,6 +33,8 @@ class SynthesisParams:
     n_jump_sites: int = 100
     n_write_sites: int = 100
     pie: bool = False
+    shared: bool = False  # emit an ET_DYN shared object (implies pie)
+    cet: bool = False  # IBT: endbr64 landing pads + .note.gnu.property
     bss_bytes: int = 0
     seed: int = 1
     short_jump_frac: float = 0.45  # fraction of jcc encoded rel8
@@ -72,6 +74,8 @@ class SynthesisParams:
             n_jump_sites=profile.scaled_jump_locs,
             n_write_sites=profile.scaled_write_locs,
             pie=profile.pie,
+            shared=profile.shared,
+            cet=profile.cet,
             bss_bytes=int(profile.bss_mb * 1024 * 1024),
             seed=profile.seed,
             short_jump_frac=min(0.95, max(0.02, (100.0 - profile.a1.base_pct) / 79.0)),
@@ -87,6 +91,7 @@ class SyntheticBinary:
     data: bytes
     jump_sites: list[int] = field(default_factory=list)
     write_sites: list[int] = field(default_factory=list)
+    endbr_sites: list[int] = field(default_factory=list)  # CET landing pads
     text_vaddr: int = 0
     text_size: int = 0
 
@@ -101,12 +106,15 @@ class _Generator:
     def __init__(self, params: SynthesisParams) -> None:
         self.p = params
         self.rng = random.Random(params.seed)
-        self.prog = TinyProgram(pie=params.pie)
+        self.prog = TinyProgram(pie=params.pie or params.shared,
+                                shared=params.shared,
+                                cet_note=params.cet)
         self.prog.bss_size = params.bss_bytes
         self.prog.add_data("buffer", bytes(BUFFER_SIZE))
         self.a = self.prog.text
         self.jump_sites: list[int] = []
         self.write_sites: list[int] = []
+        self.endbr_sites: list[int] = []
         self._label = 0
 
     def fresh_label(self) -> str:
@@ -245,9 +253,16 @@ class _Generator:
 
     # -- functions -----------------------------------------------------------
 
+    def emit_endbr(self) -> None:
+        """An ``endbr64`` landing pad (CET mode only)."""
+        self.endbr_sites.append(self.a.here)
+        self.a.raw(elfc.ENDBR64)
+
     def emit_function(self, name: str, n_jumps: int, n_writes: int) -> None:
         a, rng = self.a, self.rng
         a.label(name)
+        if self.p.cet:
+            self.emit_endbr()
         a.push(enc.RBX)
         self._load_buffer_ptr(enc.RBX)
         # Seed working registers from the argument (rdi) and the buffer.
@@ -283,7 +298,7 @@ class _Generator:
         """
         if self.p.buffer_addr is not None:
             self.a.mov_imm64(reg, self.p.buffer_addr)
-        elif self.p.pie:
+        elif self.p.pie or self.p.shared:
             self.a.lea_rip(reg, "buffer")
         else:
             self.a.mov_label64(reg, "buffer")
@@ -299,11 +314,17 @@ class _Generator:
         per_func_j = self._split(p.n_jump_sites, n_funcs)
         per_func_w = self._split(p.n_write_sites, n_funcs)
 
+        # Under CET the image entry (e_entry or a library's DT_INIT) is
+        # reached indirectly, so it must open with a landing pad.
+        if p.cet:
+            self.emit_endbr()
         a.jmp("main")
         for i in range(n_funcs):
             self.emit_function(f"f{i}", per_func_j[i], per_func_w[i])
 
         a.label("main")
+        if p.cet:
+            self.emit_endbr()
         iters = max(1, p.loop_iters)
         a.mov_imm32(enc.R15, iters)
         a.mov_imm32(enc.R14, 0)
@@ -337,6 +358,7 @@ class _Generator:
             data=data,
             jump_sites=self.jump_sites,
             write_sites=self.write_sites,
+            endbr_sites=self.endbr_sites,
             text_vaddr=self.prog.text_vaddr,
             text_size=len(self.prog.text.buf),
         )

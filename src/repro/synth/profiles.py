@@ -45,6 +45,7 @@ class BinaryProfile:
     a2: PaperRow  # heap-write instrumentation
     bss_mb: float = 0.0  # large static allocations (limitation L1)
     shared: bool = False  # shared object: positive offsets only (Sec 5.1)
+    cet: bool = False  # CET/IBT: endbr64 landing pads at function entries
 
     @property
     def image_pressure_mb(self) -> float:
@@ -226,9 +227,27 @@ ALL_PROFILES: list[BinaryProfile] = (
     SPEC_PROFILES + SYSTEM_PROFILES + BROWSER_PROFILES
 )
 
+# --- Conformance profiles (not Table 1 rows) ---------------------------------
+# Synthetic ET_DYN shared objects for the dlopen/LD_PRELOAD conformance
+# suite, the differential campaign, and the eval matrix's .so column.
+# Their "paper" numbers are length-mix calibration targets, not
+# published measurements, so they are deliberately NOT in ALL_PROFILES
+# (which the Table 1 comparison iterates).
+
+CONFORMANCE_PROFILES: list[BinaryProfile] = [
+    BinaryProfile("libsynth.so", "shared", 0.10, True,
+                  _p(2900, 79.00, 13.00, 2.40, 4.60, 100.00, None, 160.00),
+                  _p(1400, 72.00, 22.00, 1.80, 3.00, 100.00, None, 120.00),
+                  shared=True),
+    BinaryProfile("libsynth-cet.so", "shared", 0.10, True,
+                  _p(2900, 79.00, 13.00, 2.40, 4.60, 100.00, None, 160.00),
+                  _p(1400, 72.00, 22.00, 1.80, 3.00, 100.00, None, 120.00),
+                  shared=True, cet=True),
+]
+
 
 def profile_by_name(name: str) -> BinaryProfile:
-    for profile in ALL_PROFILES:
+    for profile in ALL_PROFILES + CONFORMANCE_PROFILES:
         if profile.name == name:
             return profile
     raise KeyError(name)

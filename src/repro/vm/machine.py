@@ -109,10 +109,14 @@ class Machine:
 
     def __init__(self, elf_bytes: bytes, *, trap_cost: int = DEFAULT_TRAP_COST,
                  max_instructions: int = 50_000_000,
-                 stdin: bytes = b"") -> None:
+                 stdin: bytes = b"",
+                 load_base: int = 0,
+                 entry_vaddr: int | None = None,
+                 self_path_aliases: tuple[str, ...] = ()) -> None:
         self.mem = Memory()
         self.elf_bytes = elf_bytes
-        self.elf = load_elf(self.mem, elf_bytes)
+        self.load_base = load_base
+        self.elf = load_elf(self.mem, elf_bytes, base=load_base)
         self.cpu = Cpu(self.mem)
         self.trap_cost = trap_cost
         self.max_instructions = max_instructions
@@ -126,6 +130,11 @@ class Machine:
         self._fds: dict[int, bytes] = {}
         self._next_fd = 3
         self.syscall_hooks: dict[int, callable] = {}
+        # Paths (beyond /proc/self/exe) at which open() serves this
+        # image: a rewritten shared object's loader stub reopens the
+        # library by its embedded install path, which the VM has no
+        # filesystem to resolve.
+        self.self_paths = {"/proc/self/exe", *self_path_aliases}
 
         # Stack.
         self.mem.map_anonymous(STACK_TOP - STACK_SIZE, STACK_SIZE,
@@ -136,7 +145,10 @@ class Machine:
         self.mem.write_u64(sp + 8, 0)
         self.mem.write_u64(sp + 16, 0)
         self.cpu.state.regs[4] = sp  # rsp
-        self.cpu.state.rip = self.elf.entry
+        # A dlopen-style run enters at an init function (*entry_vaddr*,
+        # link-time) rather than e_entry; both rebase with the load base.
+        entry = entry_vaddr if entry_vaddr is not None else self.elf.entry
+        self.cpu.state.rip = load_base + entry
 
     # -- B0 support ---------------------------------------------------------------
 
@@ -146,9 +158,18 @@ class Machine:
     # -- syscalls ------------------------------------------------------------------
 
     def _sys_open(self, path_ptr: int) -> int:
-        raw = self.mem.read(path_ptr, 64)
-        path = raw.split(b"\x00", 1)[0].decode()
-        if path == "/proc/self/exe":
+        # Read the NUL-terminated path without running off a mapping edge.
+        raw = bytearray()
+        while len(raw) < 256:
+            try:
+                chunk = self.mem.read(path_ptr + len(raw), 16)
+            except VmError:
+                break
+            raw += chunk
+            if b"\x00" in chunk:
+                break
+        path = bytes(raw).split(b"\x00", 1)[0].decode(errors="replace")
+        if path in self.self_paths:
             fd = self._next_fd
             self._next_fd += 1
             self._fds[fd] = self.elf_bytes

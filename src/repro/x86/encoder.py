@@ -283,6 +283,18 @@ class Assembler:
         """incq disp(%base)."""
         self._mem_op_noreg(0xFF, 0, base, disp)
 
+    def inc_mem64_rip(self, target: int) -> None:
+        """incq (target - rip)(%rip) — position-independent, fixed 7 bytes.
+
+        Trampolines mapped inside the image (base + link-time vaddr)
+        keep their displacement to *target* constant under any load
+        base, so this is the counter encoding for ET_DYN images.
+        """
+        rel = target - (self.here + 7)
+        _check_rel(rel, -(1 << 31), (1 << 31) - 1)
+        self.buf += bytes((0x48, 0xFF, 0x05))
+        self.buf += (rel & 0xFFFFFFFF).to_bytes(4, "little")
+
     def _mem_op_noreg(self, opcode: int, ext: int, base: int, disp: int) -> None:
         self.buf.append(_rex(w=True, b=base))
         self.buf.append(opcode)

@@ -458,6 +458,42 @@ def _scalar_bits(buf, off: int):
 # Chunked parallel decode with boundary reconciliation.
 # ---------------------------------------------------------------------------
 
+#: ``endbr64`` — the IBT landing pad CET compilers plant at every
+#: indirectly-reachable function entry.  (Defined locally: repro.x86 is
+#: a leaf package and must not import repro.elf.)
+_ENDBR64 = b"\xf3\x0f\x1e\xfa"
+
+#: How far past a chunk boundary to look for an ``endbr64`` anchor.
+_ENDBR_SNAP_WINDOW = 4096
+
+
+def _snap_spans_to_endbr(mv, spans):
+    """Snap interior chunk boundaries forward to the next ``endbr64``.
+
+    CET binaries plant ``endbr64`` (f3 0f 1e fa) at function entries, so
+    the pattern almost always sits on a true instruction start.  A chunk
+    whose base is such an anchor agrees with the carried chain
+    immediately and its seam reconciles in zero scalar steps.  This is
+    placement only — reconciliation still verifies every seam against
+    the true chain, so an anchor that is really immediate data costs a
+    few ``reconcile_retries`` but never correctness.
+
+    Returns ``(spans, snapped)`` where *snapped* counts moved
+    boundaries.
+    """
+    if len(spans) <= 1:
+        return spans, 0
+    bounds = [b for b, _ in spans] + [spans[-1][1]]
+    snapped = 0
+    for i in range(1, len(bounds) - 1):
+        b = bounds[i]
+        limit = min(bounds[i + 1], b + _ENDBR_SNAP_WINDOW)
+        hit = bytes(mv[b:limit]).find(_ENDBR64)
+        if hit > 0 and bounds[i - 1] < b + hit < bounds[i + 1]:
+            bounds[i] = b + hit
+            snapped += 1
+    return list(zip(bounds[:-1], bounds[1:])), snapped
+
 
 def _scan_chunk(payload):
     """Worker: scan one chunk (core + overhang bytes) from its base."""
@@ -481,7 +517,7 @@ def _decode_chunked(buf, address: int, executor, chunk_size: int):
 
     n = len(buf)
     mv = memoryview(buf)
-    spans = chunk_spans(n, chunk_size)
+    spans, snapped = _snap_spans_to_endbr(mv, chunk_spans(n, chunk_size))
     payloads = [
         (bytes(mv[base : min(n, hi + MAX_INSN_LEN - 1)]), hi - base)
         for base, hi in spans
@@ -544,6 +580,7 @@ def _decode_chunked(buf, address: int, executor, chunk_size: int):
         mbits,
         chunks=len(spans),
         reconcile_retries=retries,
+        endbr_snaps=snapped,
     )
 
 
@@ -588,6 +625,7 @@ class InstructionStream(Sequence):
         "_cache",
         "chunks",
         "reconcile_retries",
+        "endbr_snaps",
     )
 
     def __init__(
@@ -599,6 +637,7 @@ class InstructionStream(Sequence):
         *,
         chunks: int = 1,
         reconcile_retries: int = 0,
+        endbr_snaps: int = 0,
     ) -> None:
         self._buf = buf
         self.address = address
@@ -607,6 +646,7 @@ class InstructionStream(Sequence):
         self._cache: dict[int, Instruction] = {}
         self.chunks = chunks
         self.reconcile_retries = reconcile_retries
+        self.endbr_snaps = endbr_snaps
 
     # -- sizing ----------------------------------------------------------
 
@@ -732,11 +772,12 @@ class InstructionStream(Sequence):
                 mblob,
                 self.chunks,
                 self.reconcile_retries,
+                self.endbr_snaps,
             ),
         )
 
 
-def _rebuild_stream(buf, address, sblob, mblob, chunks, retries):
+def _rebuild_stream(buf, address, sblob, mblob, chunks, retries, snaps=0):
     """Unpickle an :class:`InstructionStream` (NumPy optional)."""
     if HAVE_NUMPY:
         starts = _np.frombuffer(sblob, _np.int32)
@@ -746,7 +787,8 @@ def _rebuild_stream(buf, address, sblob, mblob, chunks, retries):
         starts.frombytes(sblob)
         mbits = mblob
     return InstructionStream(
-        buf, address, starts, mbits, chunks=chunks, reconcile_retries=retries
+        buf, address, starts, mbits, chunks=chunks, reconcile_retries=retries,
+        endbr_snaps=snaps,
     )
 
 

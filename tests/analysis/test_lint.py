@@ -147,7 +147,11 @@ class TestEndbrWarning:
         instructions = disassemble_text(elf)
         site = next(i for i in instructions
                     if i.address == prog.text_vaddr + a.labels["pad"])
-        rw = Rewriter(elf, instructions, RewriteOptions(mode="loader"))
+        # cet=False forced: auto-detection would see the endbr64 and
+        # refuse the patch outright (tests/analysis/test_cet.py covers
+        # that); this test pins the non-CET warn-only path.
+        rw = Rewriter(elf, instructions,
+                      RewriteOptions(mode="loader", cet=False))
         rw.rewrite([PatchRequest(insn=site, instrumentation=Empty())])
         report = lint_context(rw.context)
         assert report.ok  # warnings do not fail the gate

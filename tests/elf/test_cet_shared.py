@@ -1,0 +1,116 @@
+"""ELF-layer CET and shared-object surfaces: the GNU property note,
+dual-mode CET detection, and TinyProgram's ET_DYN dynamic machinery."""
+
+from __future__ import annotations
+
+from repro.elf import constants as c
+from repro.elf.builder import TinyProgram, build_gnu_property_note
+from repro.elf.dynamic import find_init, find_init_target
+from repro.elf.reader import ElfFile
+from repro.elf.symbols import _parse_symtab
+from repro.vm.machine import run_elf
+
+
+def exiting_program(**kw) -> TinyProgram:
+    prog = TinyProgram(**kw)
+    prog.emit_exit(7)
+    return prog
+
+
+class TestPropertyNote:
+    def test_note_wellformed(self):
+        note = build_gnu_property_note()
+        # name "GNU\0", type NT_GNU_PROPERTY_TYPE_0, one X86 FEATURE_1
+        # property carrying the IBT bit.
+        assert b"GNU\x00" in note
+        assert (c.GNU_PROPERTY_X86_FEATURE_1_IBT).to_bytes(4, "little") in note
+
+    def test_note_detected_in_image(self):
+        elf = ElfFile(exiting_program(pie=True, cet_note=True).build())
+        assert elf.has_ibt_note
+        assert elf.is_cet_enabled()
+
+    def test_absent_without_flag(self):
+        elf = ElfFile(exiting_program(pie=True).build())
+        assert not elf.has_ibt_note
+
+
+class TestDualModeDetection:
+    def test_endbr_scan_without_note(self):
+        """The container's gcc emits endbr64 under -fcf-protection but
+        not always the property note — detection must also accept
+        landing pads found in executable bytes."""
+        prog = TinyProgram(pie=True)
+        prog.text.raw(c.ENDBR64)
+        prog.emit_exit(0)
+        elf = ElfFile(prog.build())
+        assert not elf.has_ibt_note
+        assert elf.is_cet_enabled()
+
+    def test_endbr_bytes_in_data_do_not_count(self):
+        """Landing-pad bytes in a *non-executable* segment are data, not
+        CET evidence."""
+        prog = TinyProgram(pie=True)
+        prog.add_data("decoy", c.ENDBR64 * 4)
+        prog.emit_exit(0)
+        elf = ElfFile(prog.build())
+        assert not elf.is_cet_enabled()
+
+    def test_plain_program_is_not_cet(self):
+        assert not ElfFile(exiting_program().build()).is_cet_enabled()
+
+
+class TestElfTypeSurface:
+    def test_exec_vs_dyn(self):
+        assert ElfFile(exiting_program().build()).elf_type == "ET_EXEC"
+        assert ElfFile(exiting_program(pie=True).build()).elf_type == "ET_DYN"
+
+    def test_shared_object_requires_dynamic(self):
+        # PIE and .so are both ET_DYN; only the .so carries PT_DYNAMIC.
+        pie = ElfFile(exiting_program(pie=True).build())
+        so = ElfFile(exiting_program(shared=True).build())
+        assert not pie.is_shared_object
+        assert so.is_shared_object
+        assert so.elf_type == "ET_DYN"
+
+
+class TestSharedMachinery:
+    def test_dynamic_tables_present(self):
+        elf = ElfFile(exiting_program(shared=True).build())
+        assert any(p.type == c.PT_DYNAMIC for p in elf.phdrs)
+        assert find_init(elf) is not None
+
+    def test_default_export_is_init(self):
+        prog = exiting_program(shared=True)
+        elf = ElfFile(prog.build())
+        syms = _parse_symtab(elf, ".dynsym", ".dynstr")
+        assert [s.name for s in syms] == ["_repro_init"]
+        assert syms[0].value == prog.text_vaddr
+
+    def test_explicit_exports(self):
+        prog = TinyProgram(shared=True)
+        entry = prog.text_vaddr
+        prog.emit_exit(3)
+        prog.export_symbols = [("alpha", entry), ("beta", entry + 2)]
+        elf = ElfFile(prog.build())
+        syms = {s.name: s.value for s in
+                _parse_symtab(elf, ".dynsym", ".dynstr")}
+        assert syms == {"alpha": entry, "beta": entry + 2}
+
+    def test_init_target_resolves(self):
+        prog = exiting_program(shared=True)
+        target = find_init_target(ElfFile(prog.build()))
+        assert target is not None
+        kind, _offset, vaddr = target
+        assert kind == "init"
+        assert vaddr == prog.text_vaddr
+
+    def test_shared_image_runs_in_vm(self):
+        r = run_elf(exiting_program(shared=True).build())
+        assert r.exit_code == 7
+
+    def test_cet_shared_combines(self):
+        elf = ElfFile(exiting_program(shared=True, cet_note=True).build())
+        assert elf.is_shared_object
+        assert elf.has_ibt_note
+        assert elf.is_cet_enabled()

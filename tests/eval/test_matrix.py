@@ -153,3 +153,36 @@ class TestRunCell:
         cell = payload["cells"]["bzip2/full-jumps/serial"]
         assert cell["verdict"] == "ok"
         assert cell["metrics"]["sites"] > 0
+
+    def test_cell_meta_reports_elf_type_and_cet(self):
+        """Cell metadata carries the binary's kind (ET_EXEC/ET_DYN) and
+        CET note presence — strings live in meta, never in the numeric
+        metrics the trend gate compares."""
+        exec_cell = run_cell(
+            MatrixCell("bzip2", "full-jumps", "serial"),
+            max_sites=64, oracle=False, repeats=1,
+        )
+        assert exec_cell.meta["elf_type"] == "ET_EXEC"
+        assert exec_cell.meta["cet"] is False
+        so_cell = run_cell(
+            MatrixCell("libsynth-cet.so", "full-jumps", "serial"),
+            max_sites=64, oracle=False, repeats=1,
+        )
+        assert so_cell.ok
+        assert so_cell.meta == {"elf_type": "ET_DYN", "cet": True,
+                                "cet_note": True}
+        payload = so_cell.to_dict()
+        assert payload["meta"]["elf_type"] == "ET_DYN"
+        assert all(not isinstance(v, str)
+                   for v in payload["metrics"].values())
+
+    def test_shared_cell_oracle_runs_at_nonzero_base(self):
+        """The .so column's oracle combo is a dlopen-style run at a high
+        load base; the verdict must still be equivalent."""
+        result = run_cell(
+            MatrixCell("libsynth-cet.so", "full-jumps", "checked"),
+            max_sites=64, repeats=1,
+        )
+        assert result.verdict == "ok"  # divergence would flip the verdict
+        assert result.metrics["oracle_events"] > 0
+        assert "vm_overhead_ratio" in result.metrics

@@ -102,6 +102,27 @@ class TestSession:
         r = session.handle(rpc("binary", {"filename": str(path)}))
         assert "result" in r
 
+    def test_binary_reports_type_and_cet(self):
+        """The binary ack carries the ELF kind and CET markers, so a
+        frontend can pick shared/CET handling before sending options."""
+        exe = workload()
+        r = E9PatchSession().handle(rpc("binary", {
+            "data": base64.b64encode(exe.data).decode()}))
+        info = r["result"]
+        assert info["type"] == "ET_EXEC"
+        assert info["shared_object"] is False
+        assert info["cet"] is False and info["cet_note"] is False
+
+        so = synthesize(SynthesisParams(
+            n_jump_sites=8, n_write_sites=4, seed=778,
+            shared=True, cet=True))
+        r = E9PatchSession().handle(rpc("binary", {
+            "data": base64.b64encode(so.data).decode()}))
+        info = r["result"]
+        assert info["type"] == "ET_DYN"
+        assert info["shared_object"] is True
+        assert info["cet"] is True and info["cet_note"] is True
+
 
 class TestErrors:
     def test_unknown_method(self):

@@ -1,0 +1,264 @@
+"""dlopen/LD_PRELOAD conformance suite for rewritten shared objects.
+
+The tentpole claim: a gcc-built shared object — including a CET/IBT one
+(``-fcf-protection``) — rewritten with a *counter* patch still
+
+* loads via ``dlopen`` (here: ``ctypes.CDLL``) and computes identical
+  results through its exports,
+* exposes a byte-identical dynamic symbol table (exports resolve to the
+  same link-time addresses),
+* keeps every ``endbr64`` landing pad at an exported entry intact
+  (clobbering one turns an indirect call into a ``#CP`` fault on CET
+  hardware),
+* actually counts: the counter cell in the image's runtime-data segment
+  increments at the *runtime* load base (the rip-relative encoding),
+* runs under ``LD_PRELOAD`` in a subprocess with unchanged behaviour.
+
+Everything here builds with the host gcc and skips uniformly via
+``requires_toolchain`` when it is absent.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import subprocess
+
+import pytest
+
+from repro import RewriteOptions, instrument_elf
+from repro.elf.constants import ENDBR64
+from repro.elf.reader import ElfFile
+from repro.elf.symbols import _parse_symtab
+from tests.conftest import HAVE_GCC, HAVE_NATIVE, requires_toolchain
+
+_LIB_SOURCE = r"""
+#include <stdlib.h>
+
+long conf_sum(long n) {
+    long acc = 0;
+    for (long i = 0; i < n; i++) {
+        if (i & 1) acc += i * 3;
+        else if (i % 5 == 0) acc ^= i << 2;
+        else acc -= i;
+    }
+    return acc;
+}
+
+long conf_mix(long a, long b) {
+    long *buf = malloc(16 * sizeof(long));
+    long out = 0;
+    for (int i = 0; i < 16; i++) {
+        buf[i] = (a + i) * (b - i);
+        out ^= buf[i] >> (i & 7);
+    }
+    free(buf);
+    return out;
+}
+
+int conf_tag(void) { return 0x5909; }
+"""
+
+_MAIN_SOURCE = r"""
+#include <stdio.h>
+extern long conf_sum(long);
+extern long conf_mix(long, long);
+extern int conf_tag(void);
+int main(void) {
+    long total = conf_tag();
+    for (int i = 1; i <= 8; i++) total ^= conf_sum(i * 7) + conf_mix(i, 31 - i);
+    printf("%ld\n", total);
+    return (int)(total & 0x1f);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def so_fixtures(tmp_path_factory):
+    """gcc-built shared objects (CET and plain) plus a linked driver.
+
+    The plain build passes ``-fcf-protection=none`` explicitly: distro
+    gcc packages often default CET *on*, which would make the "plain"
+    control silently CET too.
+    """
+    if not (HAVE_NATIVE and HAVE_GCC):
+        pytest.skip("requires gcc on x86-64 Linux")
+    root = tmp_path_factory.mktemp("so_conformance")
+    (root / "libconf.c").write_text(_LIB_SOURCE)
+    (root / "main.c").write_text(_MAIN_SOURCE)
+    builds = {
+        "cet": ["-fcf-protection=full"],
+        "plain": ["-fcf-protection=none"],
+    }
+    libs = {}
+    for name, extra in builds.items():
+        libdir = root / name
+        libdir.mkdir()
+        lib = libdir / "libconf.so"
+        r = subprocess.run(
+            ["gcc", "-shared", "-fPIC", "-O2", *extra,
+             "-o", str(lib), str(root / "libconf.c")],
+            capture_output=True)
+        if r.returncode == 0:
+            libs[name] = lib
+    if "cet" not in libs:
+        pytest.skip("gcc could not build the CET shared object")
+    exe = root / "main"
+    r = subprocess.run(
+        ["gcc", "-O2", "-o", str(exe), str(root / "main.c"),
+         f"-L{libs['cet'].parent}", "-lconf"],
+        capture_output=True)
+    if r.returncode:
+        pytest.skip("gcc could not link the driver")
+    return root, exe, libs
+
+
+def rewrite_so(lib_path, out_path, instrumentation="counter",
+               matcher="jumps"):
+    """Rewrite *lib_path* for installation at *out_path* (the embedded
+    library path is what the injected loader stub reopens at init)."""
+    report = instrument_elf(
+        lib_path.read_bytes(), matcher, instrumentation,
+        RewriteOptions(mode="loader", shared=True,
+                       library_path=str(out_path)),
+    )
+    out_path.write_bytes(report.result.data)
+    return report
+
+
+def dynamic_exports(data: bytes):
+    """(name, value, size) of every .dynsym function export."""
+    return sorted((s.name, s.value, s.size)
+                  for s in _parse_symtab(ElfFile(data), ".dynsym", ".dynstr"))
+
+
+@requires_toolchain
+class TestCetFixture:
+    def test_cet_build_detected(self, so_fixtures):
+        _, _, libs = so_fixtures
+        elf = ElfFile(libs["cet"].read_bytes())
+        assert elf.elf_type == "ET_DYN"
+        assert elf.is_shared_object
+        # Dual-mode detection: the container's gcc emits endbr64 under
+        # -fcf-protection but not necessarily the GNU property note, so
+        # only the combined predicate is asserted.
+        assert elf.is_cet_enabled()
+
+    def test_plain_build_not_cet(self, so_fixtures):
+        _, _, libs = so_fixtures
+        if "plain" not in libs:
+            pytest.skip("plain (non-CET) build unavailable")
+        elf = ElfFile(libs["plain"].read_bytes())
+        assert elf.elf_type == "ET_DYN"
+        assert not elf.has_ibt_note
+
+    def test_exports_begin_with_endbr(self, so_fixtures):
+        _, _, libs = so_fixtures
+        elf = ElfFile(libs["cet"].read_bytes())
+        exports = [s for s in dynamic_exports(elf.data)
+                   if s[0].startswith("conf_")]
+        assert len(exports) == 3
+        for _, vaddr, _ in exports:
+            assert elf.read_vaddr(vaddr, 4) == ENDBR64
+
+
+@requires_toolchain
+class TestDlopenConformance:
+    def test_rewritten_cet_so_loads_and_computes(self, so_fixtures, tmp_path):
+        _, _, libs = so_fixtures
+        ref = ctypes.CDLL(str(libs["cet"]))
+        out = tmp_path / "libconf.so"
+        report = rewrite_so(libs["cet"], out)
+        assert report.stats.success_pct == 100.0
+        assert report.elf_type == "ET_DYN" and report.cet
+        patched = ctypes.CDLL(str(out))
+        for fn, args in (("conf_sum", (137,)), ("conf_mix", (9, 22)),
+                         ("conf_tag", ())):
+            r = getattr(ref, fn)
+            p = getattr(patched, fn)
+            r.restype = p.restype = ctypes.c_long
+            r.argtypes = p.argtypes = [ctypes.c_long] * len(args)
+            assert p(*args) == r(*args), fn
+
+    def test_counter_increments_at_runtime_base(self, so_fixtures, tmp_path):
+        """The counter patch must count at the *runtime* load base: the
+        rip-relative increment lands in the mapped runtime-data segment,
+        not at the (unmapped) link-time absolute address."""
+        _, _, libs = so_fixtures
+        out = tmp_path / "libconf.so"
+        report = rewrite_so(libs["cet"], out)
+        assert report.counter_vaddr is not None
+        lib = ctypes.CDLL(str(out))
+        lib.conf_sum.restype = ctypes.c_long
+        lib.conf_sum.argtypes = [ctypes.c_long]
+        # Runtime load base = dlsym(conf_sum) - its link-time vaddr.
+        link_vaddr = dict((n, v) for n, v, _ in
+                          dynamic_exports(out.read_bytes()))["conf_sum"]
+        runtime = ctypes.cast(lib.conf_sum, ctypes.c_void_p).value
+        base = runtime - link_vaddr
+        assert base != 0  # a dlopen'd ET_DYN never loads at zero
+
+        def counter() -> int:
+            raw = ctypes.string_at(base + report.counter_vaddr, 8)
+            return int.from_bytes(raw, "little")
+
+        before = counter()
+        lib.conf_sum(500)
+        after = counter()
+        assert after > before
+
+    def test_export_symbols_identical(self, so_fixtures, tmp_path):
+        _, _, libs = so_fixtures
+        out = tmp_path / "libconf.so"
+        rewrite_so(libs["cet"], out)
+        assert (dynamic_exports(out.read_bytes())
+                == dynamic_exports(libs["cet"].read_bytes()))
+
+    def test_endbr_landing_pads_survive_rewrite(self, so_fixtures, tmp_path):
+        """No export's endbr64 byte sequence may be overwritten — a
+        patched landing pad faults every indirect call on CET hardware."""
+        _, _, libs = so_fixtures
+        out = tmp_path / "libconf.so"
+        rewrite_so(libs["cet"], out, matcher="jumps")
+        orig = ElfFile(libs["cet"].read_bytes())
+        patched = ElfFile(out.read_bytes())
+        for name, vaddr, _ in dynamic_exports(orig.data):
+            if orig.read_vaddr(vaddr, 4) == ENDBR64:
+                assert patched.read_vaddr(vaddr, 4) == ENDBR64, name
+
+    def test_plain_so_loads_too(self, so_fixtures, tmp_path):
+        _, _, libs = so_fixtures
+        if "plain" not in libs:
+            pytest.skip("plain (non-CET) build unavailable")
+        out = tmp_path / "libconf.so"
+        rewrite_so(libs["plain"], out)
+        lib = ctypes.CDLL(str(out))
+        lib.conf_tag.restype = ctypes.c_int
+        assert lib.conf_tag() == 0x5909
+
+
+@requires_toolchain
+class TestLdPreloadSmoke:
+    def run_main(self, exe, libdir, preload=None, timeout=20):
+        env = dict(os.environ, LD_LIBRARY_PATH=str(libdir))
+        if preload is not None:
+            env["LD_PRELOAD"] = str(preload)
+        proc = subprocess.run([str(exe)], capture_output=True, env=env,
+                              timeout=timeout)
+        return proc.returncode, proc.stdout
+
+    def test_preloaded_rewritten_so_behaviour(self, so_fixtures, tmp_path):
+        _, exe, libs = so_fixtures
+        ref = self.run_main(exe, libs["cet"].parent)
+        out = tmp_path / "libconf.so"
+        rewrite_so(libs["cet"], out)
+        got = self.run_main(exe, libs["cet"].parent, preload=out)
+        assert got == ref
+
+    def test_preloaded_empty_instrumentation(self, so_fixtures, tmp_path):
+        _, exe, libs = so_fixtures
+        ref = self.run_main(exe, libs["cet"].parent)
+        out = tmp_path / "libconf.so"
+        rewrite_so(libs["cet"], out, instrumentation="empty")
+        got = self.run_main(exe, libs["cet"].parent, preload=out)
+        assert got == ref

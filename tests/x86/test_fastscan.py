@@ -73,6 +73,65 @@ def real_text(seed: int = 99) -> bytes:
     return bytes(ElfFile(binary.data).section_view(".text"))
 
 
+ENDBR64 = b"\xf3\x0f\x1e\xfa"
+
+
+def endbr_heavy(seed: int, n: int) -> bytes:
+    """CET-style code: endbr64 landing pads sprinkled between short
+    instruction runs — the corpus the chunk-boundary snapping heuristic
+    is tuned for."""
+    rng = random.Random(seed)
+    fillers = [b"\x90", b"\x50", b"\x58", b"\xc3", b"\x48\x89\xc1",
+               b"\x31\xc0", b"\x83\xc0\x01"]
+    out = bytearray()
+    while len(out) < n:
+        if rng.random() < 0.2:
+            out += ENDBR64
+        else:
+            out += rng.choice(fillers)
+    return bytes(out[:n])
+
+
+def endbr_at_seams(chunk_size: int, chunks: int = 24) -> bytes:
+    """endbr64 placed exactly at, just before, and straddling every
+    chunk boundary — the seam positions the snapping pass rewrites."""
+    out = bytearray()
+    for i in range(chunks):
+        body = bytearray(b"\x90" * chunk_size)
+        phase = i % 4
+        if phase == 0:
+            body[:4] = ENDBR64  # exactly at the seam
+        elif phase == 1:
+            body[chunk_size - 4:] = ENDBR64  # ends on the seam
+        elif phase == 2:
+            body[chunk_size - 2:] = ENDBR64[:2]  # straddles: head...
+            # ...the tail lands at the start of the next chunk via the
+            # next iteration's prefix write below.
+            out += body
+            out += ENDBR64[2:]
+            out += b"\x90" * (chunk_size - 2)
+            continue
+        else:
+            body[7:11] = ENDBR64  # interior, off-seam
+        out += body
+    return bytes(out)
+
+
+def endbr_in_immediates(seed: int, n: int) -> bytes:
+    """movabs instructions whose *immediate* spells endbr64 — data that
+    looks like a landing pad.  Snapping may anchor a chunk inside the
+    immediate; reconciliation must still converge to the true chain."""
+    rng = random.Random(seed)
+    out = bytearray()
+    while len(out) < n:
+        if rng.random() < 0.3:
+            # movabs $0x...f31e0ffa..., %rax — endbr bytes mid-immediate
+            out += b"\x48\xb8" + ENDBR64 + ENDBR64
+        else:
+            out += rng.choice([b"\x90", b"\xc3", b"\x31\xc0"])
+    return bytes(out[:n])
+
+
 CORPORA = {
     "random": random_soup(1, 20_000),
     "prefix-heavy": prefix_heavy(2, 20_000),
@@ -82,6 +141,9 @@ CORPORA = {
     "tiny": bytes.fromhex("90c3"),
     "one-prefix": b"\x66",  # a lone prefix is a 1-byte (bad)
     "empty": b"",
+    "endbr-heavy": endbr_heavy(4, 20_000),
+    "endbr-seams": endbr_at_seams(64),
+    "endbr-immediates": endbr_in_immediates(5, 20_000),
 }
 
 
@@ -181,6 +243,63 @@ class TestChunkedDecode:
         stream = decode_stream(CORPORA["random"], min_vector_bytes=0)
         assert stream.chunks == 1
         assert stream.reconcile_retries == 0
+        assert stream.endbr_snaps == 0
+
+
+# --- endbr64 chunk anchoring ------------------------------------------------
+
+
+@requires_numpy
+class TestEndbrAnchoring:
+    """CET landing pads double as decode anchors: interior chunk
+    boundaries snap forward to the next endbr64, which is a guaranteed
+    instruction start in real CET code.  Snapping is purely a placement
+    heuristic — seam reconciliation still proves every chunk against the
+    true chain, so even adversarial data (endbr bytes inside an
+    immediate) costs retries, never correctness."""
+
+    @pytest.mark.parametrize("chunk_size", [64, 512])
+    @pytest.mark.parametrize("name", ["endbr-heavy", "endbr-seams",
+                                      "endbr-immediates"])
+    def test_differential_vs_reference(self, name, chunk_size):
+        data = CORPORA[name]
+        chunked = decode_stream(data, address=0x400000,
+                                chunk_size=chunk_size, min_vector_bytes=0)
+        assert_stream_equals_list(
+            chunked, decode_buffer(data, address=0x400000),
+            f"{name}/{chunk_size}")
+
+    def test_snaps_counted_on_endbr_heavy_code(self):
+        data = CORPORA["endbr-heavy"]
+        chunked = decode_stream(data, chunk_size=64, min_vector_bytes=0)
+        assert chunked.endbr_snaps > 0
+        serial = decode_stream(data, min_vector_bytes=0)
+        assert chunked.start_offsets() == serial.start_offsets()
+
+    def test_snapped_boundaries_are_instruction_starts(self):
+        """On genuine CET code every snapped boundary is a real
+        instruction start, so reconciliation converges with zero
+        retries — the whole point of anchoring on endbr64."""
+        data = CORPORA["endbr-seams"]
+        chunked = decode_stream(data, chunk_size=64, min_vector_bytes=0)
+        assert chunked.endbr_snaps > 0
+        assert chunked.reconcile_retries == 0
+
+    def test_endbr_inside_immediate_still_correct(self):
+        """Anchors that land inside movabs immediates mis-place chunks;
+        the reconciliation walk must absorb that as retries."""
+        data = CORPORA["endbr-immediates"]
+        serial = decode_stream(data, address=0x1000, min_vector_bytes=0)
+        chunked = decode_stream(data, address=0x1000, chunk_size=64,
+                                min_vector_bytes=0)
+        assert chunked.start_offsets() == serial.start_offsets()
+        assert bytes(chunked._mbits) == bytes(serial._mbits)
+
+    def test_snaps_survive_pickle(self):
+        data = CORPORA["endbr-heavy"]
+        chunked = decode_stream(data, chunk_size=64, min_vector_bytes=0)
+        clone = pickle.loads(pickle.dumps(chunked))
+        assert clone.endbr_snaps == chunked.endbr_snaps
 
 
 # --- select / site_indices -------------------------------------------------
